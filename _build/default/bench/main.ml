@@ -1,0 +1,261 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §3) and offers Bechamel micro-benchmarks of the
+   computational kernels.
+
+   Usage: main.exe [table1|table2|table3|fig2|fig3|fig4|fig5|table4|fig6|
+                    fig7|table5|table6|micro|all]  (default: all)
+
+   RATS_SCALE=smoke (default, 149 configurations) or paper (the full 557). *)
+
+module Suite = Rats_daggen.Suite
+module Cluster = Rats_platform.Cluster
+module Core = Rats_core
+module Exp = Rats_exp
+
+let ppf = Format.std_formatter
+let scale = Suite.scale_of_env ()
+
+let scale_name = match scale with Suite.Smoke -> "smoke" | Suite.Paper -> "paper"
+
+let results_dir = "bench_results"
+
+let ensure_results_dir () =
+  if not (Sys.file_exists results_dir) then Unix.mkdir results_dir 0o755
+
+let section title =
+  Format.fprintf ppf "@.=== %s ===@." title
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.fprintf ppf "(%s computed in %.1fs)@." label (Unix.gettimeofday () -. t0);
+  r
+
+(* Expensive inputs shared between figures. *)
+let naive_grillon =
+  lazy
+    (timed "naive suite on grillon" (fun () ->
+         Exp.Runner.run_suite ~progress:true scale Cluster.grillon))
+
+let table4_data =
+  lazy (timed "parameter tuning (Table IV)" (fun () -> Exp.Tuning.table4 scale))
+
+let tuned_per_cluster =
+  lazy
+    (timed "tuned suites on all clusters" (fun () ->
+         let table = Lazy.force table4_data in
+         List.map
+           (fun c ->
+             (c.Cluster.name, Exp.Figures.run_tuned_suite scale table c))
+           Cluster.presets))
+
+let tuned_grillon () = List.assoc "grillon" (Lazy.force tuned_per_cluster)
+
+let run_table1 () =
+  section "Table I";
+  Exp.Figures.table1 ppf
+
+let run_table2 () =
+  section "Table II";
+  Exp.Figures.table2 ppf
+
+let run_table3 () =
+  section "Table III";
+  Exp.Figures.table3 ppf scale
+
+let run_fig2 () =
+  section "Figure 2";
+  let results = Lazy.force naive_grillon in
+  Exp.Figures.fig2 ppf results;
+  ensure_results_dir ();
+  let path = Filename.concat results_dir "naive_grillon.csv" in
+  Exp.Figures.write_csv path results;
+  Format.fprintf ppf "(full data: %s)@." path
+
+let run_fig3 () =
+  section "Figure 3";
+  Exp.Figures.fig3 ppf (Lazy.force naive_grillon)
+
+let run_fig4 () =
+  section "Figure 4";
+  let points =
+    timed "delta sweep on FFT/grillon" (fun () ->
+        let configs = Exp.Tuning.tuning_configs scale `Fft in
+        Exp.Tuning.sweep_delta (Exp.Tuning.prepare Cluster.grillon configs))
+  in
+  Exp.Figures.fig4 ppf points
+
+let run_fig5 () =
+  section "Figure 5";
+  let points =
+    timed "time-cost sweep on irregular/grillon" (fun () ->
+        let configs = Exp.Tuning.tuning_configs scale `Irregular in
+        Exp.Tuning.sweep_timecost (Exp.Tuning.prepare Cluster.grillon configs))
+  in
+  Exp.Figures.fig5 ppf points
+
+let run_table4 () =
+  section "Table IV";
+  Exp.Figures.table4 ppf (Lazy.force table4_data)
+
+let run_fig6 () =
+  section "Figure 6";
+  let results = tuned_grillon () in
+  Exp.Figures.fig6 ppf results;
+  ensure_results_dir ();
+  let path = Filename.concat results_dir "tuned_grillon.csv" in
+  Exp.Figures.write_csv path results;
+  Format.fprintf ppf "(full data: %s)@." path
+
+let run_fig7 () =
+  section "Figure 7";
+  Exp.Figures.fig7 ppf (tuned_grillon ())
+
+let run_table5 () =
+  section "Table V";
+  Exp.Figures.table5 ppf (Lazy.force tuned_per_cluster)
+
+let run_table6 () =
+  section "Table VI";
+  Exp.Figures.table6 ppf (Lazy.force tuned_per_cluster)
+
+let run_ablations () =
+  section "Ablations";
+  timed "ablation studies" (fun () -> Exp.Ablation.print_all ppf scale)
+
+let run_ccr () =
+  section "CCR crossover (extension)";
+  (* Half the study set: the sweep re-simulates every configuration six
+     times. *)
+  let configs =
+    List.filteri (fun i _ -> i mod 2 = 0) (Exp.Ablation.study_configs scale)
+  in
+  let points =
+    timed "CCR sweep" (fun () -> Exp.Ccr_sweep.run Cluster.grillon configs)
+  in
+  Exp.Ccr_sweep.print ppf points
+
+let run_autotune () =
+  section "Automatic tuning";
+  let configs = Exp.Ablation.study_configs scale in
+  let rows =
+    timed "selector study" (fun () ->
+        Exp.Autotune.selector_study Cluster.grillon configs)
+  in
+  Format.fprintf ppf
+    "mean makespan relative to HCPA over %d configurations (grillon):@."
+    (List.length configs);
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-18s %.3f@." name v)
+    rows
+
+(* --- Bechamel micro-benchmarks ------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let cluster = Cluster.grillon in
+  let fft_cfg = { Suite.spec = Suite.Fft { k = 8 }; sample = 0 } in
+  let dag = Suite.generate fft_cfg in
+  let problem = Core.Problem.make ~dag ~cluster in
+  let alloc = Core.Hcpa.allocate problem in
+  let schedule = Core.Rats.schedule ~alloc problem Core.Rats.Baseline in
+  let flows =
+    Array.init 128 (fun i ->
+        {
+          Rats_sim.Maxmin.links = [| i mod 20; 20 + (i mod 15) |];
+          rate_cap = 1e9;
+        })
+  in
+  let sender = Rats_util.Procset.range 0 8 in
+  let receiver = Rats_util.Procset.range 4 12 in
+  Test.make_grouped ~name:"rats"
+    [
+      Test.make ~name:"maxmin-128flows"
+        (Staged.stage (fun () ->
+             ignore
+               (Rats_sim.Maxmin.solve ~n_links:47
+                  ~capacity:(fun _ -> 1.25e8)
+                  flows)));
+      Test.make ~name:"comm-matrix-32x24"
+        (Staged.stage (fun () ->
+             ignore (Rats_redist.Block.comm_matrix ~amount:1e9 ~senders:32 ~receivers:24)));
+      Test.make ~name:"redist-plan"
+        (Staged.stage (fun () ->
+             ignore (Rats_redist.Redistribution.plan ~sender ~receiver ~bytes:1e9 ())));
+      Test.make ~name:"hcpa-alloc-fft8"
+        (Staged.stage (fun () -> ignore (Core.Hcpa.allocate problem)));
+      Test.make ~name:"rats-timecost-map-fft8"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Rats.schedule ~alloc problem
+                  (Core.Rats.Timecost Core.Rats.naive_timecost))));
+      Test.make ~name:"simulate-fft8"
+        (Staged.stage (fun () -> ignore (Core.Evaluate.run schedule)));
+    ]
+
+let run_micro () =
+  section "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (micro_tests ()) in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      Format.fprintf ppf "  %-28s %12.1f ns/run@." name ns)
+    results
+
+let run_all () =
+  Format.fprintf ppf "RATS benchmark harness — scale: %s (%d configurations)@."
+    scale_name (Suite.n_configs scale);
+  run_table1 ();
+  run_table2 ();
+  run_table3 ();
+  run_fig2 ();
+  run_fig3 ();
+  run_fig4 ();
+  run_fig5 ();
+  run_table4 ();
+  run_fig6 ();
+  run_fig7 ();
+  run_table5 ();
+  run_table6 ();
+  run_ablations ();
+  run_ccr ();
+  run_autotune ();
+  run_micro ()
+
+let () =
+  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match cmd with
+  | "table1" -> run_table1 ()
+  | "table2" -> run_table2 ()
+  | "table3" -> run_table3 ()
+  | "fig2" -> run_fig2 ()
+  | "fig3" -> run_fig3 ()
+  | "fig4" -> run_fig4 ()
+  | "fig5" -> run_fig5 ()
+  | "table4" -> run_table4 ()
+  | "fig6" -> run_fig6 ()
+  | "fig7" -> run_fig7 ()
+  | "table5" -> run_table5 ()
+  | "table6" -> run_table6 ()
+  | "ablations" -> run_ablations ()
+  | "ccr" -> run_ccr ()
+  | "autotune" -> run_autotune ()
+  | "micro" -> run_micro ()
+  | "all" -> run_all ()
+  | other ->
+      Format.eprintf "unknown command %S@." other;
+      exit 2);
+  Format.pp_print_flush ppf ()

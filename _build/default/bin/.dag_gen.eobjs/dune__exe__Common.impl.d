@@ -1,0 +1,1 @@
+bin/common.ml: Arg Cmdliner Format List Printf Rats_daggen Rats_platform String Term

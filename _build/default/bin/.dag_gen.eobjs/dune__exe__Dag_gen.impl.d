@@ -1,0 +1,1 @@
+bin/dag_gen.ml: Arg Array Cmd Cmdliner Common Format Fun List Rats_dag Rats_daggen Rats_util Term

@@ -1,0 +1,1 @@
+bin/dag_gen.mli:

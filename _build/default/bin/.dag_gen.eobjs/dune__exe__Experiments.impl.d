@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Common Format List Rats_core Rats_daggen Rats_exp Term

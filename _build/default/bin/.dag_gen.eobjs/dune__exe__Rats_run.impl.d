@@ -1,0 +1,1 @@
+bin/rats_run.ml: Arg Array Cmd Cmdliner Common Format List Printf Rats_core Rats_dag Rats_daggen Rats_platform Rats_util Rats_viz Term

@@ -1,0 +1,1 @@
+bin/rats_run.mli:

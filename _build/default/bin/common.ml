@@ -1,0 +1,88 @@
+(* Shared cmdliner terms of the CLI tools. *)
+
+open Cmdliner
+module Suite = Rats_daggen.Suite
+module Shape = Rats_daggen.Shape
+module Cluster = Rats_platform.Cluster
+
+let cluster_conv =
+  let parse s =
+    match
+      List.find_opt (fun c -> c.Cluster.name = String.lowercase_ascii s)
+        Cluster.presets
+    with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown cluster %S (expected chti, grillon or grelon)"
+               s))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf c.Cluster.name)
+
+let cluster_term =
+  Arg.(
+    value
+    & opt cluster_conv Cluster.grillon
+    & info [ "cluster" ] ~docv:"NAME"
+        ~doc:"Target cluster: chti, grillon or grelon (Table II presets).")
+
+let kind_term =
+  Arg.(
+    value
+    & opt (enum [ ("layered", `Layered); ("irregular", `Irregular);
+                  ("fft", `Fft); ("strassen", `Strassen) ])
+        `Irregular
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:"Application kind: layered, irregular, fft or strassen.")
+
+let n_tasks_term =
+  Arg.(
+    value & opt int 50
+    & info [ "tasks"; "n" ] ~docv:"N" ~doc:"Computation tasks (random DAGs).")
+
+let width_term =
+  Arg.(value & opt float 0.5 & info [ "width" ] ~docv:"W" ~doc:"DAG width in (0,1].")
+
+let density_term =
+  Arg.(
+    value & opt float 0.5 & info [ "density" ] ~docv:"D" ~doc:"Edge density in (0,1].")
+
+let regularity_term =
+  Arg.(
+    value & opt float 0.5
+    & info [ "regularity" ] ~docv:"R" ~doc:"Level-size regularity in (0,1].")
+
+let jump_term =
+  Arg.(
+    value & opt int 1
+    & info [ "jump" ] ~docv:"J" ~doc:"Jump-edge length (irregular DAGs); 1 = none.")
+
+let fft_k_term =
+  Arg.(
+    value & opt int 8
+    & info [ "fft-k" ] ~docv:"K" ~doc:"FFT data points (power of two >= 2).")
+
+let sample_term =
+  Arg.(
+    value & opt int 0
+    & info [ "sample" ] ~docv:"S" ~doc:"Sample index (selects the random seed).")
+
+let config_term =
+  let build kind n_tasks width density regularity jump k sample =
+    let spec =
+      match kind with
+      | `Layered ->
+          Suite.Layered
+            { n_tasks; shape = Shape.make ~width ~regularity ~density () }
+      | `Irregular ->
+          Suite.Irregular
+            { n_tasks; shape = Shape.make ~width ~regularity ~density ~jump () }
+      | `Fft -> Suite.Fft { k }
+      | `Strassen -> Suite.Strassen
+    in
+    { Suite.spec; sample }
+  in
+  Term.(
+    const build $ kind_term $ n_tasks_term $ width_term $ density_term
+    $ regularity_term $ jump_term $ fft_k_term $ sample_term)

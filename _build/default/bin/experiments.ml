@@ -1,0 +1,58 @@
+(* experiments: run the paper's evaluation suite and export the data.
+
+   Examples:
+     dune exec bin/experiments.exe -- --scale smoke
+     dune exec bin/experiments.exe -- --cluster grelon --csv out.csv *)
+
+open Cmdliner
+module Suite = Rats_daggen.Suite
+module Exp = Rats_exp
+
+let run scale cluster mindelta maxdelta minrho packing csv =
+  let delta = { Rats_core.Rats.mindelta; maxdelta } in
+  let timecost = { Rats_core.Rats.minrho; packing } in
+  let results =
+    Exp.Runner.run_suite ~delta ~timecost ~progress:true scale cluster
+  in
+  Exp.Figures.fig2 Format.std_formatter results;
+  Exp.Figures.fig3 Format.std_formatter results;
+  (match csv with
+  | None -> ()
+  | Some path ->
+      Exp.Figures.write_csv path results;
+      Format.printf "CSV written to %s@." path);
+  Format.printf "%d configurations done.@." (List.length results)
+
+let scale_term =
+  Arg.(
+    value
+    & opt (enum [ ("smoke", Suite.Smoke); ("paper", Suite.Paper) ]) Suite.Smoke
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"smoke (149 configurations) or paper (the full 557).")
+
+let csv_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-configuration results to $(docv).")
+
+let mindelta_term =
+  Arg.(value & opt float (-0.5) & info [ "mindelta" ] ~docv:"F" ~doc:"Delta packing bound.")
+
+let maxdelta_term =
+  Arg.(value & opt float 0.5 & info [ "maxdelta" ] ~docv:"F" ~doc:"Delta stretching bound.")
+
+let minrho_term =
+  Arg.(value & opt float 0.5 & info [ "minrho" ] ~docv:"F" ~doc:"Time-cost threshold.")
+
+let packing_term =
+  Arg.(value & opt bool true & info [ "packing" ] ~docv:"BOOL" ~doc:"Time-cost packing.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the RATS evaluation suite")
+    Term.(
+      const run $ scale_term $ Common.cluster_term $ mindelta_term
+      $ maxdelta_term $ minrho_term $ packing_term $ csv_term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/irregular_workflow.ml: Array Format List Rats_core Rats_dag Rats_daggen Rats_platform

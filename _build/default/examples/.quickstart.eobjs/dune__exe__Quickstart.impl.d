@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Rats_core Rats_dag Rats_platform Rats_util

@@ -1,0 +1,1 @@
+examples/strassen_workflow.ml: Format List Rats_core Rats_dag Rats_daggen Rats_platform Rats_util

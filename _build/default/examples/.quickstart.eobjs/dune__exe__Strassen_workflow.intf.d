@@ -1,0 +1,1 @@
+examples/strassen_workflow.mli:

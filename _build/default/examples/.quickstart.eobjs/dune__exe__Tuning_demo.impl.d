@@ -1,0 +1,1 @@
+examples/tuning_demo.ml: Format List Rats_core Rats_daggen Rats_exp Rats_platform

@@ -1,0 +1,62 @@
+(* FFT workflow: the paper's first HPC kernel (§IV-A) on the hierarchical
+   grelon cluster.
+
+   A Fast Fourier Transform over k data points is a binary tree of recursive
+   calls feeding a butterfly network — every root-to-exit path is critical,
+   which makes it a stress test for allocation decisions: whatever the
+   scheduler does to one path it should do to all of them. This example
+   scans k in {2, 4, 8, 16} and shows how the RATS strategies trade
+   redistributions against allocation changes on a cluster whose cabinet
+   uplinks make inter-cabinet redistribution extra expensive.
+
+   Run with: dune exec examples/fft_workflow.exe *)
+
+module Suite = Rats_daggen.Suite
+module Dag = Rats_dag.Dag
+module Cluster = Rats_platform.Cluster
+module Core = Rats_core
+
+let strategies =
+  [
+    Core.Rats.Baseline;
+    Core.Rats.Delta Core.Rats.naive_delta;
+    Core.Rats.Timecost Core.Rats.naive_timecost;
+  ]
+
+let () =
+  let cluster = Cluster.grelon in
+  Format.printf "cluster: %a@.@." Cluster.pp cluster;
+  List.iter
+    (fun k ->
+      let config = { Suite.spec = Suite.Fft { k }; sample = 0 } in
+      let dag = Suite.generate config in
+      let problem = Core.Problem.make ~dag ~cluster in
+      let alloc = Core.Hcpa.allocate problem in
+      Format.printf "FFT k=%-2d (%d tasks, average parallelism %.1f):@." k
+        (Dag.n_tasks dag)
+        (Core.Hcpa.average_parallelism problem);
+      (* Allocation profile per DAG level: the tree narrows toward the root,
+         the butterfly is uniformly k wide. *)
+      let groups = Dag.level_groups dag in
+      Format.printf "  allocations per level:";
+      Array.iter
+        (fun tasks ->
+          let nps = List.map (fun i -> alloc.(i)) tasks in
+          let mn = List.fold_left min max_int nps
+          and mx = List.fold_left max 0 nps in
+          if mn = mx then Format.printf " %d" mn
+          else Format.printf " %d-%d" mn mx)
+        groups;
+      Format.printf "@.";
+      List.iter
+        (fun strategy ->
+          let o = Core.Algorithms.run ~alloc problem strategy in
+          let sim = o.Core.Algorithms.simulated in
+          Format.printf
+            "  %-10s simulated=%8.2fs work=%9.0f redist paid/avoided=%3d/%3d@."
+            (Core.Rats.strategy_name strategy)
+            sim.Core.Evaluate.makespan (Core.Algorithms.work o)
+            sim.Core.Evaluate.redistributions sim.Core.Evaluate.avoided)
+        strategies;
+      Format.printf "@.")
+    [ 2; 4; 8; 16 ]

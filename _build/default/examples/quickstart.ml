@@ -1,0 +1,77 @@
+(* Quickstart: build a small mixed-parallel application by hand, schedule it
+   with RATS and inspect the result.
+
+   The application is a diamond: a producer task fans out to two parallel
+   workers whose results a consumer combines — the smallest shape on which
+   redistribution-aware mapping matters, because each worker can inherit the
+   producer's processor set instead of paying a redistribution.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Task = Rats_dag.Task
+module Dag = Rats_dag.Dag
+module Cluster = Rats_platform.Cluster
+module Core = Rats_core
+module Units = Rats_util.Units
+
+let () =
+  (* 1. Describe the application. Sizes follow the paper's task model: a
+     dataset of m double elements, a.m flop, Amdahl fraction alpha. *)
+  let m = 32. *. Units.mega in
+  let task id name flop_factor =
+    Task.make ~id ~name ~data_elements:m ~flop:(flop_factor *. m) ~alpha:0.05
+  in
+  let b = Dag.Builder.create () in
+  Dag.Builder.add_task b (task 0 "produce" 128.);
+  Dag.Builder.add_task b (task 1 "filter" 256.);
+  Dag.Builder.add_task b (task 2 "transform" 256.);
+  Dag.Builder.add_task b (task 3 "combine" 128.);
+  let bytes = m *. Units.bytes_per_element in
+  Dag.Builder.add_edge b ~src:0 ~dst:1 ~bytes;
+  Dag.Builder.add_edge b ~src:0 ~dst:2 ~bytes;
+  Dag.Builder.add_edge b ~src:1 ~dst:3 ~bytes;
+  Dag.Builder.add_edge b ~src:2 ~dst:3 ~bytes;
+  let dag = Dag.Builder.build b in
+  Format.printf "application: %a@." Dag.pp_stats dag;
+
+  (* 2. Pick a platform and bundle the problem. *)
+  let cluster = Cluster.grillon in
+  let problem = Core.Problem.make ~dag ~cluster in
+  Format.printf "platform:    %a@.@." Cluster.pp cluster;
+
+  (* 3. First step: HCPA decides how many processors each task gets. *)
+  let alloc = Core.Hcpa.allocate problem in
+  Array.iteri
+    (fun i np ->
+      Format.printf "allocation: %-10s -> %2d processors@."
+        (Dag.task dag i).Task.name np)
+    alloc;
+
+  (* 4. Second step: map with the baseline and with both RATS strategies,
+     then measure each schedule in the contention simulator. *)
+  Format.printf "@.%-10s %12s %12s %10s@." "mapping" "est. (s)" "sim. (s)"
+    "work";
+  List.iter
+    (fun strategy ->
+      let outcome = Core.Algorithms.run ~alloc problem strategy in
+      Format.printf "%-10s %12.2f %12.2f %10.0f@."
+        (Core.Rats.strategy_name strategy)
+        (Core.Schedule.makespan_estimated outcome.Core.Algorithms.schedule)
+        (Core.Algorithms.makespan outcome)
+        (Core.Algorithms.work outcome))
+    [
+      Core.Rats.Baseline;
+      Core.Rats.Delta Core.Rats.naive_delta;
+      Core.Rats.Timecost Core.Rats.naive_timecost;
+    ];
+
+  (* 5. Look inside the best schedule. *)
+  let outcome =
+    Core.Algorithms.run ~alloc problem (Core.Rats.Timecost Core.Rats.naive_timecost)
+  in
+  Format.printf "@.time-cost schedule:@.%a" Core.Schedule.pp
+    outcome.Core.Algorithms.schedule;
+  let sim = outcome.Core.Algorithms.simulated in
+  Format.printf "redistributions: %d paid, %d avoided, %a over the network@."
+    sim.Core.Evaluate.redistributions sim.Core.Evaluate.avoided
+    Units.pp_bytes sim.Core.Evaluate.remote_bytes

@@ -1,0 +1,58 @@
+(* Strassen workflow: the paper's second HPC kernel (§IV-A) on the small
+   chti cluster.
+
+   Strassen's matrix multiplication (one recursion level) is 25 tasks: 10
+   operand additions feed 7 sub-multiplications whose results 8 additions
+   combine into the four quadrants of C. On a 20-node cluster the processor
+   sets of parents and children overlap constantly, so this example focuses
+   on the redistribution ledger: how many transfers each strategy avoids and
+   how many bytes stay local, plus the effect of the time-cost minrho
+   threshold.
+
+   Run with: dune exec examples/strassen_workflow.exe *)
+
+module Suite = Rats_daggen.Suite
+module Cluster = Rats_platform.Cluster
+module Core = Rats_core
+module Units = Rats_util.Units
+
+let pct a b = if b > 0. then 100. *. a /. b else 0.
+
+let () =
+  let cluster = Cluster.chti in
+  Format.printf "cluster: %a@.@." Cluster.pp cluster;
+  let config = { Suite.spec = Suite.Strassen; sample = 3 } in
+  let dag = Suite.generate config in
+  let problem = Core.Problem.make ~dag ~cluster in
+  let alloc = Core.Hcpa.allocate problem in
+  Format.printf "%s: %a@.@." (Suite.name config) Rats_dag.Dag.pp_stats dag;
+
+  Format.printf "redistribution ledger (naive parameters):@.";
+  List.iter
+    (fun strategy ->
+      let o = Core.Algorithms.run ~alloc problem strategy in
+      let sim = o.Core.Algorithms.simulated in
+      let total = sim.Core.Evaluate.remote_bytes +. sim.Core.Evaluate.local_bytes in
+      Format.printf
+        "  %-10s makespan=%7.2fs avoided=%2d/%2d transfers, %5.1f%% of bytes \
+         stayed local@."
+        (Core.Rats.strategy_name strategy)
+        sim.Core.Evaluate.makespan sim.Core.Evaluate.avoided
+        (sim.Core.Evaluate.avoided + sim.Core.Evaluate.redistributions)
+        (pct sim.Core.Evaluate.local_bytes total))
+    [
+      Core.Rats.Baseline;
+      Core.Rats.Delta Core.Rats.naive_delta;
+      Core.Rats.Timecost Core.Rats.naive_timecost;
+    ];
+
+  (* The minrho threshold controls how much efficiency loss a stretch may
+     cost. Low values stretch eagerly, 1.0 never stretches. *)
+  Format.printf "@.time-cost sensitivity to minrho (packing on):@.";
+  List.iter
+    (fun minrho ->
+      let strategy = Core.Rats.Timecost { minrho; packing = true } in
+      let o = Core.Algorithms.run ~alloc problem strategy in
+      Format.printf "  minrho=%.1f -> simulated makespan %7.2fs, work %7.0f@."
+        minrho (Core.Algorithms.makespan o) (Core.Algorithms.work o))
+    [ 0.2; 0.4; 0.5; 0.6; 0.8; 1.0 ]

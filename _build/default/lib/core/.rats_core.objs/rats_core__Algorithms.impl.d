@@ -1,0 +1,1 @@
+lib/core/algorithms.ml: Evaluate Rats Schedule

@@ -1,0 +1,1 @@
+lib/core/cpa.ml: Array List Problem Rats_dag

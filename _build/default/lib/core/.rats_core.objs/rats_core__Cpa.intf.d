@@ -1,0 +1,1 @@
+lib/core/cpa.mli: Problem

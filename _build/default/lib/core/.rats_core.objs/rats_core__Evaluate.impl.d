@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Array Float List Printf Problem Rats_dag Rats_redist Rats_sim Rats_util Schedule

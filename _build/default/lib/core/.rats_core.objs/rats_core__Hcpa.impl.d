@@ -1,0 +1,1 @@
+lib/core/hcpa.ml: Array Cpa Float Problem Rats_dag

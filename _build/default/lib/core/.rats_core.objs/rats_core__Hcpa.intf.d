@@ -1,0 +1,1 @@
+lib/core/hcpa.mli: Problem

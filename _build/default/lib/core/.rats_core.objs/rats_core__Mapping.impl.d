@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Float List Printf Problem Rats_dag Rats_platform Rats_redist Rats_util Schedule

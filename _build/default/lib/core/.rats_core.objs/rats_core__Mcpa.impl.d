@@ -1,0 +1,1 @@
+lib/core/mcpa.ml: Array Cpa List Problem Rats_dag

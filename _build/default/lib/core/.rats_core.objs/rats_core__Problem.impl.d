@@ -1,0 +1,1 @@
+lib/core/problem.ml: Rats_dag Rats_platform

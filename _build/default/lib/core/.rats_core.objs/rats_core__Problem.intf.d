@@ -1,0 +1,1 @@
+lib/core/problem.mli: Rats_dag Rats_platform

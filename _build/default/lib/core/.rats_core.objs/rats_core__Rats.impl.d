@@ -1,0 +1,1 @@
+lib/core/rats.ml: Array Cpa Float Hcpa List Mapping Option Problem Rats_dag Rats_util Schedule

@@ -1,0 +1,1 @@
+lib/core/rats.mli: Problem Schedule

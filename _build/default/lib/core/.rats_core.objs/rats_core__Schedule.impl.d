@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Float Format List Problem Rats_dag Rats_util

@@ -1,0 +1,11 @@
+type outcome = {
+  schedule : Schedule.t;
+  simulated : Evaluate.result;
+}
+
+let run ?alloc problem strategy =
+  let schedule = Rats.schedule ?alloc problem strategy in
+  { schedule; simulated = Evaluate.run schedule }
+
+let makespan o = o.simulated.Evaluate.makespan
+let work o = Schedule.total_work o.schedule

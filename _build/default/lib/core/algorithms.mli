@@ -1,0 +1,17 @@
+(** One-call pipelines: allocation → mapping → simulated evaluation. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  simulated : Evaluate.result;
+}
+
+val run : ?alloc:int array -> Problem.t -> Rats.strategy -> outcome
+(** HCPA allocation (unless given), the strategy's mapping, then simulation.
+    Passing the same [alloc] to several strategies makes comparisons share
+    the first step, as in the paper. *)
+
+val makespan : outcome -> float
+(** Simulated makespan. *)
+
+val work : outcome -> float
+(** Resource consumption of the schedule. *)

@@ -1,0 +1,37 @@
+(** CPA allocation — Critical Path and Area-based scheduling, step one
+    (Radulescu & van Gemund, ICPP 2001; paper §II-C).
+
+    Start with one processor per task. While the critical-path length [C∞]
+    exceeds the average area [W = Σωᵢ / P], give one more processor to the
+    critical-path task that benefits the most from the increase. [C∞] and
+    [W] are both lower bounds on the makespan, so [C∞ = W] is the sweet spot
+    where trading task parallelism for data parallelism stops paying.
+
+    Critical paths are priced with Amdahl task times under the current
+    allocation plus the {!Problem.edge_cost_estimate} of each edge. Virtual
+    entry/exit tasks always keep one processor. *)
+
+val allocate : Problem.t -> int array
+(** [allocate p] returns the per-task processor counts. *)
+
+val allocate_with : Problem.t -> max_per_task:int -> int array
+(** Generalized procedure additionally capping every task's allocation at
+    [max_per_task] — the hook {!Hcpa} uses to keep the large-platform bias
+    of CPA in check. [max_per_task] must be ≥ 1; allocations are always also
+    capped by the physical processor count. The loop stops when [C∞ ≤ W] or
+    no critical-path task can still grow. *)
+
+val allocate_capped : Problem.t -> cap:(int -> int) -> int array
+(** Fully general variant with a per-task cap — {!Mcpa} caps by DAG-level
+    width, {!Hcpa} uniformly. [cap i] must be ≥ 1 for every task. *)
+
+val average_area : Problem.t -> alloc:int array -> area_procs:int -> float
+(** [Σ task_work / area_procs] under [alloc] — exposed for tests and
+    diagnostics. *)
+
+val critical_path_length : Problem.t -> alloc:int array -> float
+(** [C∞] under [alloc], with edge cost estimates. *)
+
+val bottom_levels : Problem.t -> alloc:int array -> float array
+(** Bottom level of every task under [alloc] (task times + edge cost
+    estimates) — the primary mapping priority of CPA, HCPA and RATS. *)

@@ -1,0 +1,25 @@
+module Dag = Rats_dag.Dag
+
+let average_parallelism problem =
+  let n = Problem.n_tasks problem in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. Problem.task_work problem i ~procs:1
+  done;
+  (* Computation-only depth: the classic work / critical-path-length
+     definition of average parallelism. *)
+  let bl =
+    Dag.bottom_levels (Problem.dag problem)
+      ~task_cost:(fun i -> Problem.task_time problem i ~procs:1)
+      ~edge_cost:(fun _ _ _ -> 0.)
+  in
+  let depth = bl.(Problem.entry problem) in
+  if depth <= 0. then 1. else Float.max 1. (!total /. depth)
+
+let max_per_task problem =
+  let p = float_of_int (Problem.n_procs problem) in
+  let a = average_parallelism problem in
+  max 1 (int_of_float (Float.ceil (p /. a)))
+
+let allocate problem =
+  Cpa.allocate_with problem ~max_per_task:(max_per_task problem)

@@ -1,0 +1,29 @@
+(** HCPA allocation (N'takpé, Suter & Casanova, ISPDC 2007; paper §II-C).
+
+    CPA's allocation loop has a large-platform bias: with many processors the
+    average area [W = Σω/P] stays small, so the loop keeps inflating
+    critical-path allocations far beyond what the application's task
+    parallelism can exploit, preventing independent tasks from running
+    concurrently. HCPA removes that bias; we realize it with N'takpé &
+    Suter's {e self-constrained} rule — every task's allocation is capped at
+    its fair share of the platform,
+
+    [cap = ⌈P / A⌉]   where   [A = W₁ / D₁]
+
+    is the application's average parallelism (total sequential work over the
+    computation-only critical-path depth under one-processor allocations).
+    Within that cap the procedure is exactly CPA. On the paper's homogeneous
+    clusters this reproduces HCPA's operative effect; the reference-cluster
+    translation HCPA adds for heterogeneous platforms is not needed here
+    (DESIGN.md §4).
+
+    The paper uses HCPA's allocation as the first step of both the baseline
+    and RATS. *)
+
+val average_parallelism : Problem.t -> float
+(** [A = W₁ / D₁] ≥ 1; 1 for a chain. *)
+
+val max_per_task : Problem.t -> int
+(** [⌈P / A⌉], at least 1 — the per-task allocation cap. *)
+
+val allocate : Problem.t -> int array

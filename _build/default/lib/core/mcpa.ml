@@ -1,0 +1,13 @@
+module Dag = Rats_dag.Dag
+
+let level_caps problem =
+  let dag = Problem.dag problem in
+  let p = Problem.n_procs problem in
+  let depths = Dag.depths dag in
+  let groups = Dag.level_groups dag in
+  let widths = Array.map List.length groups in
+  Array.map (fun d -> max 1 (p / widths.(d))) depths
+
+let allocate problem =
+  let caps = level_caps problem in
+  Cpa.allocate_capped problem ~cap:(fun i -> caps.(i))

@@ -1,0 +1,16 @@
+(** MCPA allocation (Bansal, Kumar & Singh, Parallel Computing 2006;
+    paper §II-C).
+
+    The Modified CPA limits processor allocations so that {e all the tasks of
+    a DAG level can execute concurrently}: a task in a level of width [w] may
+    use at most [⌊P / w⌋] processors (never below 1). Within those caps the
+    procedure is CPA. The paper notes this is only appropriate for very
+    regular DAGs — on irregular graphs the widest level throttles everything;
+    it is provided as the third comparison point of the related work. *)
+
+val level_caps : Problem.t -> int array
+(** Per-task allocation bound [max(1, ⌊P / width(level(task))⌋)]. Virtual
+    entry/exit tasks (levels of width 1) get the full machine but never grow
+    anyway. *)
+
+val allocate : Problem.t -> int array

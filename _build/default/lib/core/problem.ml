@@ -1,0 +1,41 @@
+module Dag = Rats_dag.Dag
+module Task = Rats_dag.Task
+module Cluster = Rats_platform.Cluster
+module Link = Rats_platform.Link
+
+type t = {
+  dag : Dag.t;
+  cluster : Cluster.t;
+  entry : int;
+  exit_task : int;
+}
+
+let make ~dag ~cluster =
+  match (Dag.entries dag, Dag.exits dag) with
+  | [ entry ], [ exit_task ] -> { dag; cluster; entry; exit_task }
+  | _ ->
+      invalid_arg
+        "Problem.make: DAG must have a single entry and exit \
+         (use Dag.ensure_single_entry_exit)"
+
+let dag p = p.dag
+let cluster p = p.cluster
+let n_tasks p = Dag.n_tasks p.dag
+let n_procs p = Cluster.n_procs p.cluster
+let entry p = p.entry
+let exit_task p = p.exit_task
+
+let task_time p i ~procs =
+  Task.time (Dag.task p.dag i) ~speed:p.cluster.Cluster.speed ~procs
+
+let task_work p i ~procs =
+  Task.work (Dag.task p.dag i) ~speed:p.cluster.Cluster.speed ~procs
+
+let edge_cost_estimate p bytes =
+  if bytes <= 0. then 0.
+  else begin
+    let link = p.cluster.Cluster.node_link in
+    link.Link.latency +. (bytes /. link.Link.bandwidth)
+  end
+
+let is_virtual p i = Task.is_virtual (Dag.task p.dag i)

@@ -1,0 +1,35 @@
+(** A scheduling problem: one mixed-parallel application on one cluster.
+
+    Bundles the DAG and the platform and provides the cost helpers every
+    scheduling phase needs: Amdahl execution times on the cluster's
+    processors, task work, and the allocation-independent edge cost estimate
+    used when computing critical paths and bottom-level priorities (one NIC
+    serializing the whole transfer — the conventional pre-mapping
+    approximation, since actual redistribution costs depend on the processor
+    sets chosen later). *)
+
+type t
+
+val make : dag:Rats_dag.Dag.t -> cluster:Rats_platform.Cluster.t -> t
+(** Raises [Invalid_argument] if the DAG does not have a single entry and a
+    single exit task (apply {!Rats_dag.Dag.ensure_single_entry_exit} first). *)
+
+val dag : t -> Rats_dag.Dag.t
+val cluster : t -> Rats_platform.Cluster.t
+
+val n_tasks : t -> int
+val n_procs : t -> int
+
+val entry : t -> int
+val exit_task : t -> int
+
+val task_time : t -> int -> procs:int -> float
+(** [task_time p i ~procs] = Amdahl time of task [i] on [procs] nodes. *)
+
+val task_work : t -> int -> procs:int -> float
+
+val edge_cost_estimate : t -> float -> float
+(** [edge_cost_estimate p bytes]: latency + transfer time of [bytes] through
+    one node link. *)
+
+val is_virtual : t -> int -> bool

@@ -1,0 +1,12 @@
+let data_parallel_alloc problem =
+  let p = Problem.n_procs problem in
+  Array.init (Problem.n_tasks problem) (fun i ->
+      if Problem.is_virtual problem i then 1 else p)
+
+let task_parallel_alloc problem = Array.make (Problem.n_tasks problem) 1
+
+let data_parallel problem =
+  Rats.schedule ~alloc:(data_parallel_alloc problem) problem Rats.Baseline
+
+let task_parallel problem =
+  Rats.schedule ~alloc:(task_parallel_alloc problem) problem Rats.Baseline

@@ -1,0 +1,72 @@
+module Procset = Rats_util.Procset
+module Dag = Rats_dag.Dag
+
+type entry = {
+  task : int;
+  procs : Procset.t;
+  est_start : float;
+  est_finish : float;
+  seq : int;
+}
+
+type t = { problem : Problem.t; entries : entry array }
+
+let make problem entries =
+  let n = Problem.n_tasks problem in
+  let p = Problem.n_procs problem in
+  if Array.length entries <> n then
+    invalid_arg "Schedule.make: entry count differs from task count";
+  Array.iteri
+    (fun i e ->
+      if e.task <> i then invalid_arg "Schedule.make: entry/task id mismatch";
+      let np = Procset.size e.procs in
+      if np = 0 then invalid_arg "Schedule.make: empty processor set";
+      Procset.iter
+        (fun q -> if q < 0 || q >= p then invalid_arg "Schedule.make: bad processor")
+        e.procs;
+      if e.est_start < 0. then invalid_arg "Schedule.make: negative start";
+      let duration = Problem.task_time problem i ~procs:np in
+      let expected = e.est_start +. duration in
+      if Float.abs (e.est_finish -. expected) > 1e-6 *. Float.max 1. expected then
+        invalid_arg "Schedule.make: finish inconsistent with Amdahl duration")
+    entries;
+  let dag = Problem.dag problem in
+  Array.iteri
+    (fun i e ->
+      List.iter
+        (fun (succ, _) ->
+          if entries.(succ).est_start +. 1e-9 < e.est_finish then
+            invalid_arg "Schedule.make: precedence violated in estimates")
+        (Dag.succs dag i))
+    entries;
+  { problem; entries }
+
+let problem s = s.problem
+let entry s i = s.entries.(i)
+let entries s = Array.copy s.entries
+let n_tasks s = Array.length s.entries
+
+let makespan_estimated s =
+  Array.fold_left (fun acc e -> Float.max acc e.est_finish) 0. s.entries
+
+let total_work s =
+  let acc = ref 0. in
+  Array.iter
+    (fun e ->
+      if not (Problem.is_virtual s.problem e.task) then
+        acc :=
+          !acc
+          +. Problem.task_work s.problem e.task ~procs:(Procset.size e.procs))
+    s.entries;
+  !acc
+
+let allocation s = Array.map (fun e -> Procset.size e.procs) s.entries
+
+let pp ppf s =
+  let by_seq = entries s in
+  Array.sort (fun a b -> compare a.seq b.seq) by_seq;
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "@[#%02d task %3d on %a: [%g, %g]@]@."
+        e.seq e.task Procset.pp e.procs e.est_start e.est_finish)
+    by_seq

@@ -1,0 +1,44 @@
+(** Schedules: the output of the mapping step.
+
+    A schedule assigns every task a concrete processor set and carries the
+    mapper's start/finish estimates (computed with the analytic
+    redistribution estimator, i.e. without network contention). Ground-truth
+    times come from {!Evaluate}, which replays the schedule in the
+    discrete-event engine. *)
+
+type entry = {
+  task : int;
+  procs : Rats_util.Procset.t;
+  est_start : float;
+  est_finish : float;
+  seq : int;  (** Position in the mapping order (deterministic tie-break). *)
+}
+
+type t
+
+val make : Problem.t -> entry array -> t
+(** [entry array] indexed by task id. Validates: every task mapped on a
+    non-empty set within the cluster, estimates non-negative and
+    [est_finish = est_start + T(t, |procs|)] up to rounding, and
+    [est_start t ≥ est_finish pred] for every DAG edge. Raises
+    [Invalid_argument] on violation. *)
+
+val problem : t -> Problem.t
+val entry : t -> int -> entry
+val entries : t -> entry array
+(** Fresh copy. *)
+
+val n_tasks : t -> int
+
+val makespan_estimated : t -> float
+(** Mapper's estimate: max finish over tasks (= exit task's finish). *)
+
+val total_work : t -> float
+(** Σ |procs(t)| · T(t, |procs(t)|) over non-virtual tasks — the paper's
+    resource-consumption metric (Figures 3 and 7). *)
+
+val allocation : t -> int array
+(** Per-task processor counts actually used. *)
+
+val pp : Format.formatter -> t -> unit
+(** Gantt-style text listing, mapping order. *)

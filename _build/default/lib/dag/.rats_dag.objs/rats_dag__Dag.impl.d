@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Float Format Hashtbl Int List Printf Queue Set Task

@@ -1,0 +1,1 @@
+lib/dag/task.ml: Format Rats_util

@@ -1,0 +1,70 @@
+type t = {
+  n_tasks : int;
+  n_edges : int;
+  n_levels : int;
+  max_width : int;
+  avg_width : float;
+  width_cv : float;
+  total_flop : float;
+  total_bytes : float;
+  bytes_per_flop : float;
+  critical_path_flop : float;
+  avg_parallelism : float;
+  edge_density : float;
+}
+
+let compute dag =
+  let n_tasks = Dag.n_tasks dag in
+  let n_edges = Dag.n_edges dag in
+  let groups = Dag.level_groups dag in
+  let n_levels = Array.length groups in
+  let widths = Array.map (fun l -> float_of_int (List.length l)) groups in
+  let max_width =
+    Array.fold_left (fun acc l -> max acc (List.length l)) 0 groups
+  in
+  let avg_width = Rats_util.Stats.mean widths in
+  let width_cv =
+    if avg_width > 0. then Rats_util.Stats.stddev widths /. avg_width else 0.
+  in
+  let total_flop =
+    Array.fold_left (fun acc t -> acc +. t.Task.flop) 0. (Dag.tasks dag)
+  in
+  let total_bytes =
+    List.fold_left (fun acc e -> acc +. e.Dag.bytes) 0. (Dag.edges dag)
+  in
+  let _, critical_path_flop =
+    Dag.critical_path dag
+      ~task_cost:(fun i -> (Dag.task dag i).Task.flop)
+      ~edge_cost:(fun _ _ _ -> 0.)
+  in
+  let max_consecutive_edges =
+    let acc = ref 0. in
+    for l = 0 to n_levels - 2 do
+      acc := !acc +. (widths.(l) *. widths.(l + 1))
+    done;
+    !acc
+  in
+  {
+    n_tasks;
+    n_edges;
+    n_levels;
+    max_width;
+    avg_width;
+    width_cv;
+    total_flop;
+    total_bytes;
+    bytes_per_flop = (if total_flop > 0. then total_bytes /. total_flop else 0.);
+    critical_path_flop;
+    avg_parallelism =
+      (if critical_path_flop > 0. then total_flop /. critical_path_flop else 1.);
+    edge_density =
+      (if max_consecutive_edges > 0. then float_of_int n_edges /. max_consecutive_edges
+       else 0.);
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "%d tasks, %d edges, %d levels (max width %d, cv %.2f), %.3g flop, %a \
+     transferred, parallelism %.2f"
+    m.n_tasks m.n_edges m.n_levels m.max_width m.width_cv m.total_flop
+    Rats_util.Units.pp_bytes m.total_bytes m.avg_parallelism

@@ -1,0 +1,35 @@
+(** Application characterization metrics.
+
+    Scalar descriptors of a mixed-parallel application, used to reason about
+    scheduler behaviour across the configuration space (and by the automatic
+    tuner): how parallel the graph is, how communication-heavy, how regular
+    its levels are. All computation amounts are taken at one processor per
+    task; communication amounts are raw bytes, so callers can price them on
+    any platform. *)
+
+type t = {
+  n_tasks : int;  (** Including virtual entry/exit tasks. *)
+  n_edges : int;
+  n_levels : int;
+  max_width : int;  (** Tasks in the largest level. *)
+  avg_width : float;  (** Tasks per level. *)
+  width_cv : float;
+      (** Coefficient of variation of level sizes — 0 for perfectly regular
+          DAGs, large for irregular ones. *)
+  total_flop : float;
+  total_bytes : float;  (** Sum of edge weights. *)
+  bytes_per_flop : float;
+      (** Platform-independent communication intensity; multiply by
+          [speed / bandwidth] to get a CCR. *)
+  critical_path_flop : float;
+      (** Computation on the longest flop-weighted path. *)
+  avg_parallelism : float;  (** [total_flop / critical_path_flop]. *)
+  edge_density : float;
+      (** [n_edges] over the maximum possible for the level structure
+          (consecutive-level complete bipartite graphs), > 1 when jump
+          edges are present. *)
+}
+
+val compute : Dag.t -> t
+
+val pp : Format.formatter -> t -> unit

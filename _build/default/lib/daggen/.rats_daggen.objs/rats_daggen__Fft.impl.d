@@ -1,0 +1,1 @@
+lib/daggen/fft.ml: Array Printf Rats_dag Rats_util

@@ -1,0 +1,1 @@
+lib/daggen/fft.mli: Rats_dag Rats_util

@@ -1,0 +1,1 @@
+lib/daggen/random_dag.ml: Array Hashtbl Printf Rats_dag Rats_util Shape

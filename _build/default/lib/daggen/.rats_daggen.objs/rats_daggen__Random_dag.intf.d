@@ -1,0 +1,1 @@
+lib/daggen/random_dag.mli: Rats_dag Rats_util Shape

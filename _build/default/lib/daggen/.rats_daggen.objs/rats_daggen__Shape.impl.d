@@ -1,0 +1,1 @@
+lib/daggen/shape.ml: Array Float Format List Printf Rats_util

@@ -1,0 +1,1 @@
+lib/daggen/shape.mli: Format Rats_util

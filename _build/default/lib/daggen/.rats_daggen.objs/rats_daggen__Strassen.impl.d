@@ -1,0 +1,1 @@
+lib/daggen/strassen.ml: Array List Rats_dag Rats_util

@@ -1,0 +1,1 @@
+lib/daggen/strassen.mli: Rats_dag Rats_util

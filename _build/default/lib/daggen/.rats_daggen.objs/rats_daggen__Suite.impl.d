@@ -1,0 +1,1 @@
+lib/daggen/suite.ml: Char Fft Int64 List Printf Random_dag Rats_util Shape Strassen String Sys

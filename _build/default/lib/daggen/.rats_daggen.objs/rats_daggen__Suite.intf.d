@@ -1,0 +1,1 @@
+lib/daggen/suite.mli: Rats_dag Shape

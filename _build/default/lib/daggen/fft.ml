@@ -1,0 +1,64 @@
+module Rng = Rats_util.Rng
+module Task = Rats_dag.Task
+module Dag = Rats_dag.Dag
+
+let is_power_of_two k = k > 0 && k land (k - 1) = 0
+
+let log2_exact k =
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v / 2) in
+  go 0 k
+
+let check_k k =
+  if k < 2 || not (is_power_of_two k) then
+    invalid_arg "Fft: k must be a power of two >= 2"
+
+let n_computation_tasks ~k =
+  check_k k;
+  (2 * k) - 1 + (k * log2_exact k)
+
+let generate rng ~k =
+  check_k k;
+  let logk = log2_exact k in
+  let b = Dag.Builder.create () in
+  let out_bytes = Array.make (n_computation_tasks ~k) 0. in
+  let next_id = ref 0 in
+  let add_level_tasks ~prefix ~level ~count =
+    let template = Task.random rng ~id:!next_id ~name:"template" in
+    Array.init count (fun j ->
+        let id = !next_id in
+        incr next_id;
+        let task =
+          Task.make ~id
+            ~name:(Printf.sprintf "%s%d_%d" prefix level j)
+            ~data_elements:template.Task.data_elements ~flop:template.Task.flop
+            ~alpha:template.Task.alpha
+        in
+        Dag.Builder.add_task b task;
+        out_bytes.(id) <- Task.data_bytes task;
+        id)
+  in
+  (* Recursive-call tree: level d has 2^d tasks, leaves at d = log2 k. *)
+  let tree = Array.init (logk + 1) (fun d -> add_level_tasks ~prefix:"rc" ~level:d ~count:(1 lsl d)) in
+  for d = 0 to logk - 1 do
+    Array.iteri
+      (fun i u ->
+        Dag.Builder.add_edge b ~src:u ~dst:tree.(d + 1).(2 * i) ~bytes:out_bytes.(u);
+        Dag.Builder.add_edge b ~src:u ~dst:tree.(d + 1).((2 * i) + 1)
+          ~bytes:out_bytes.(u))
+      tree.(d)
+  done;
+  (* Butterfly network: level b task j <- level b-1 tasks j and j xor 2^(b-1),
+     level 0 being the tree leaves. *)
+  let prev = ref tree.(logk) in
+  for bl = 1 to logk do
+    let cur = add_level_tasks ~prefix:"bf" ~level:bl ~count:k in
+    let stride = 1 lsl (bl - 1) in
+    Array.iteri
+      (fun j v ->
+        let p1 = !prev.(j) and p2 = !prev.(j lxor stride) in
+        Dag.Builder.add_edge b ~src:p1 ~dst:v ~bytes:out_bytes.(p1);
+        Dag.Builder.add_edge b ~src:p2 ~dst:v ~bytes:out_bytes.(p2))
+      cur;
+    prev := cur
+  done;
+  Dag.ensure_single_entry_exit (Dag.Builder.build b)

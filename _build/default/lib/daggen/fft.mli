@@ -1,0 +1,16 @@
+(** FFT task graphs (paper §IV-A).
+
+    For [k] data points ([k] a power of two ≥ 2) the graph has two parts:
+    the recursive-call binary tree (2k − 1 tasks: one root splitting down to
+    [k] leaves) followed by the butterfly network (log₂k levels of [k] tasks
+    each, level [b] task [j] depending on level [b−1] tasks [j] and
+    [j XOR 2^(b−1)]), for a total of [2k − 1 + k·log₂k] computation tasks —
+    5, 15, 39 and 95 for k = 2, 4, 8, 16. Tasks of a level share one random
+    cost draw, so every root-to-exit path is a critical path. A virtual exit
+    task joins the [k] final butterflies. *)
+
+val n_computation_tasks : k:int -> int
+(** [2k − 1 + k·log₂k]. Raises [Invalid_argument] unless [k] is a power of
+    two ≥ 2. *)
+
+val generate : Rats_util.Rng.t -> k:int -> Rats_dag.Dag.t

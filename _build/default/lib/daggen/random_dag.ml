@@ -1,0 +1,84 @@
+module Rng = Rats_util.Rng
+module Task = Rats_dag.Task
+module Dag = Rats_dag.Dag
+
+(* Shared machinery. [per_level_cost] clones one cost draw across each level
+   (layered DAGs); otherwise every task draws its own (irregular DAGs). *)
+let generate rng ~n_tasks ~(shape : Shape.t) ~per_level_cost =
+  let sizes = Shape.level_sizes shape rng ~n_tasks in
+  let n_levels = Array.length sizes in
+  let b = Dag.Builder.create () in
+  let out_bytes = Array.make n_tasks 0. in
+  let next_id = ref 0 in
+  let make_level l size =
+    let template =
+      if per_level_cost then
+        Some (Task.random rng ~id:!next_id ~name:"template")
+      else None
+    in
+    Array.init size (fun k ->
+        let id = !next_id in
+        incr next_id;
+        let name = Printf.sprintf "t%d_%d" l k in
+        let task =
+          match template with
+          | Some tpl ->
+              Task.make ~id ~name ~data_elements:tpl.Task.data_elements
+                ~flop:tpl.Task.flop ~alpha:tpl.Task.alpha
+          | None -> Task.random rng ~id ~name
+        in
+        Dag.Builder.add_task b task;
+        out_bytes.(id) <- Task.data_bytes task;
+        id)
+  in
+  let levels = Array.mapi make_level sizes in
+  let edge_set = Hashtbl.create 64 in
+  let add_edge src dst =
+    if not (Hashtbl.mem edge_set (src, dst)) then begin
+      Hashtbl.add edge_set (src, dst) ();
+      Dag.Builder.add_edge b ~src ~dst ~bytes:out_bytes.(src)
+    end
+  in
+  let has_edge src dst = Hashtbl.mem edge_set (src, dst) in
+  for l = 0 to n_levels - 2 do
+    let parents = levels.(l) and children = levels.(l + 1) in
+    (* Bernoulli(density) edges between consecutive levels... *)
+    Array.iter
+      (fun u ->
+        Array.iter
+          (fun v -> if Rng.bool rng shape.Shape.density then add_edge u v)
+          children)
+      parents;
+    (* ...then connectivity guarantees: every child keeps a parent in the
+       previous level (preserving its depth), every parent keeps a child. *)
+    Array.iter
+      (fun v ->
+        if not (Array.exists (fun u -> has_edge u v) parents) then
+          add_edge parents.(Rng.int rng (Array.length parents)) v)
+      children;
+    Array.iter
+      (fun u ->
+        if not (Array.exists (fun v -> has_edge u v) children) then
+          add_edge u children.(Rng.int rng (Array.length children)))
+      parents
+  done;
+  (* Jump edges of irregular DAGs: level l -> level l + jump. *)
+  if shape.Shape.jump > 1 then
+    for l = 0 to n_levels - 1 - shape.Shape.jump do
+      let srcs = levels.(l) and dsts = levels.(l + shape.Shape.jump) in
+      Array.iter
+        (fun u ->
+          Array.iter
+            (fun v -> if Rng.bool rng shape.Shape.density then add_edge u v)
+            dsts)
+        srcs
+    done;
+  Dag.ensure_single_entry_exit (Dag.Builder.build b)
+
+let layered rng ~n_tasks ~shape =
+  if shape.Shape.jump <> 1 then
+    invalid_arg "Random_dag.layered: layered DAGs have no jump edges";
+  generate rng ~n_tasks ~shape ~per_level_cost:true
+
+let irregular rng ~n_tasks ~shape =
+  generate rng ~n_tasks ~shape ~per_level_cost:false

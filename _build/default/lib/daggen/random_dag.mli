@@ -1,0 +1,16 @@
+(** Layered and irregular random task graphs (paper §IV-A).
+
+    Both kinds share the level machinery of {!Shape}. In a {e layered} DAG
+    every task of a level has the same cost (one random draw per level), so
+    all transfers between two given levels share the same communication
+    volume. In an {e irregular} DAG every task draws its own cost, and
+    additional "jump edges" may skip levels — capturing heterogeneous,
+    unpredictable scientific workflows.
+
+    Generated DAGs always have a single (virtual) entry and exit task. *)
+
+val layered : Rats_util.Rng.t -> n_tasks:int -> shape:Shape.t -> Rats_dag.Dag.t
+(** [jump] in [shape] must be 1 (layered DAGs have no jump edges); raises
+    [Invalid_argument] otherwise. *)
+
+val irregular : Rats_util.Rng.t -> n_tasks:int -> shape:Shape.t -> Rats_dag.Dag.t

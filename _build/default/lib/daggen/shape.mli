@@ -1,0 +1,30 @@
+(** Shape parameters of random task graphs (paper §IV-A, Table III).
+
+    - [width] ∈ (0, 1]: maximum parallelism. The number of tasks in a level
+      is drawn around [n^width] (so width → 0 gives chains, width → 1 gives
+      fork-join graphs), the law of Suter's daggen generator.
+    - [regularity] ∈ (0, 1]: uniformity of level sizes. A level's size is
+      the target scaled by a uniform factor in [regularity, 2 − regularity].
+    - [density] ∈ (0, 1]: probability of an edge between a task and each
+      task of the previous level (each task is guaranteed at least one
+      parent so levels are preserved).
+    - [jump] ≥ 1: irregular DAGs additionally draw edges from level [l] to
+      level [l + jump]; [jump = 1] adds nothing ("no jumping over any
+      level"). *)
+
+type t = {
+  width : float;
+  regularity : float;
+  density : float;
+  jump : int;
+}
+
+val make :
+  width:float -> regularity:float -> density:float -> ?jump:int -> unit -> t
+(** [jump] defaults to 1. Raises [Invalid_argument] when a parameter leaves
+    its documented domain. *)
+
+val level_sizes : t -> Rats_util.Rng.t -> n_tasks:int -> int array
+(** Draws the level structure: positive sizes summing to [n_tasks]. *)
+
+val pp : Format.formatter -> t -> unit

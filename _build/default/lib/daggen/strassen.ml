@@ -1,0 +1,72 @@
+module Rng = Rats_util.Rng
+module Task = Rats_dag.Task
+module Dag = Rats_dag.Dag
+
+let n_computation_tasks = 25
+
+(* Task ids, names and depths. Depth groups share one cost draw. *)
+let names =
+  [|
+    (* 0-9: operand additions, depth 0 *)
+    "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7"; "s8"; "s9"; "s10";
+    (* 10-16: multiplications, depth 1 *)
+    "m1"; "m2"; "m3"; "m4"; "m5"; "m6"; "m7";
+    (* 17-24: result additions *)
+    "u1" (* m1+m4, depth 2 *);
+    "u2" (* u1-m5, depth 3 *);
+    "c11" (* u2+m7, depth 4 *);
+    "c12" (* m3+m5, depth 2 *);
+    "c21" (* m2+m4, depth 2 *);
+    "v1" (* m1-m2, depth 2 *);
+    "v2" (* v1+m3, depth 3 *);
+    "c22" (* v2+m6, depth 4 *);
+  |]
+
+let depths =
+  [| 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 1; 1; 1; 2; 3; 4; 2; 2; 2; 3; 4 |]
+
+(* (src, dst) dependency pairs. *)
+let dependency_pairs =
+  [
+    (* M1 = (A11+A22)(B11+B22) <- S1, S2 ... M7 <- S9, S10 *)
+    (0, 10); (1, 10);
+    (2, 11);
+    (3, 12);
+    (4, 13);
+    (5, 14);
+    (6, 15); (7, 15);
+    (8, 16); (9, 16);
+    (* u1 = M1 + M4; u2 = u1 - M5; C11 = u2 + M7 *)
+    (10, 17); (13, 17);
+    (17, 18); (14, 18);
+    (18, 19); (16, 19);
+    (* C12 = M3 + M5; C21 = M2 + M4 *)
+    (12, 20); (14, 20);
+    (11, 21); (13, 21);
+    (* v1 = M1 - M2; v2 = v1 + M3; C22 = v2 + M6 *)
+    (10, 22); (11, 22);
+    (22, 23); (12, 23);
+    (23, 24); (15, 24);
+  ]
+
+let generate rng =
+  let n_depths = 1 + Array.fold_left max 0 depths in
+  let templates =
+    Array.init n_depths (fun _ -> Task.random rng ~id:0 ~name:"template")
+  in
+  let b = Dag.Builder.create () in
+  let out_bytes = Array.make n_computation_tasks 0. in
+  Array.iteri
+    (fun id name ->
+      let tpl = templates.(depths.(id)) in
+      let task =
+        Task.make ~id ~name ~data_elements:tpl.Task.data_elements
+          ~flop:tpl.Task.flop ~alpha:tpl.Task.alpha
+      in
+      Dag.Builder.add_task b task;
+      out_bytes.(id) <- Task.data_bytes task)
+    names;
+  List.iter
+    (fun (src, dst) -> Dag.Builder.add_edge b ~src ~dst ~bytes:out_bytes.(src))
+    dependency_pairs;
+  Dag.ensure_single_entry_exit (Dag.Builder.build b)

@@ -1,0 +1,14 @@
+(** Strassen matrix-multiplication task graph (paper §IV-A).
+
+    One level of Strassen's algorithm as 25 computation tasks: 10 operand
+    additions (S1–S10), 7 sub-multiplications (M1–M7), and 8 result
+    additions combining the Mᵢ into C11, C12, C21, C22 (C11 = M1+M4−M5+M7
+    and C22 = M1−M2+M3+M6 each need a 3-addition chain; C12 = M3+M5 and
+    C21 = M2+M4 one each). All ten entry additions sit on maximal-depth
+    paths; tasks at the same depth share one random cost draw. Virtual
+    entry/exit tasks give the graph a single source and sink. *)
+
+val n_computation_tasks : int
+(** 25. *)
+
+val generate : Rats_util.Rng.t -> Rats_dag.Dag.t

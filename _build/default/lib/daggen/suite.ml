@@ -1,0 +1,131 @@
+module Rng = Rats_util.Rng
+
+type spec =
+  | Layered of { n_tasks : int; shape : Shape.t }
+  | Irregular of { n_tasks : int; shape : Shape.t }
+  | Fft of { k : int }
+  | Strassen
+
+type config = { spec : spec; sample : int }
+
+type app_kind = [ `Layered | `Irregular | `Fft | `Strassen ]
+
+let kind c =
+  match c.spec with
+  | Layered _ -> `Layered
+  | Irregular _ -> `Irregular
+  | Fft _ -> `Fft
+  | Strassen -> `Strassen
+
+let kind_name = function
+  | `Layered -> "layered"
+  | `Irregular -> "irregular"
+  | `Fft -> "fft"
+  | `Strassen -> "strassen"
+
+let name c =
+  match c.spec with
+  | Layered { n_tasks; shape } ->
+      Printf.sprintf "layered-n%d-w%.1f-d%.1f-r%.1f-s%d" n_tasks
+        shape.Shape.width shape.Shape.density shape.Shape.regularity c.sample
+  | Irregular { n_tasks; shape } ->
+      Printf.sprintf "irregular-n%d-w%.1f-d%.1f-r%.1f-j%d-s%d" n_tasks
+        shape.Shape.width shape.Shape.density shape.Shape.regularity
+        shape.Shape.jump c.sample
+  | Fft { k } -> Printf.sprintf "fft-k%d-s%d" k c.sample
+  | Strassen -> Printf.sprintf "strassen-s%d" c.sample
+
+(* FNV-1a, 64-bit, truncated to OCaml's int. *)
+let seed c =
+  let s = name c in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int !h land max_int
+
+let generate c =
+  let rng = Rng.create (seed c) in
+  match c.spec with
+  | Layered { n_tasks; shape } -> Random_dag.layered rng ~n_tasks ~shape
+  | Irregular { n_tasks; shape } -> Random_dag.irregular rng ~n_tasks ~shape
+  | Fft { k } -> Fft.generate rng ~k
+  | Strassen -> Strassen.generate rng
+
+type scale = Smoke | Paper
+
+let task_counts = [ 25; 50; 100 ]
+let widths = [ 0.2; 0.5; 0.8 ]
+let densities = [ 0.2; 0.8 ]
+let regularities = [ 0.2; 0.8 ]
+let jumps = [ 1; 2; 4 ]
+let fft_ks = [ 2; 4; 8; 16 ]
+
+let all scale =
+  let random_samples, kernel_samples =
+    match scale with Smoke -> (1, 1) | Paper -> (3, 25)
+  in
+  let samples n = List.init n (fun i -> i) in
+  let layered =
+    List.concat_map
+      (fun n_tasks ->
+        List.concat_map
+          (fun width ->
+            List.concat_map
+              (fun density ->
+                List.concat_map
+                  (fun regularity ->
+                    List.map
+                      (fun sample ->
+                        let shape = Shape.make ~width ~regularity ~density () in
+                        { spec = Layered { n_tasks; shape }; sample })
+                      (samples random_samples))
+                  regularities)
+              densities)
+          widths)
+      task_counts
+  in
+  let irregular =
+    List.concat_map
+      (fun n_tasks ->
+        List.concat_map
+          (fun width ->
+            List.concat_map
+              (fun density ->
+                List.concat_map
+                  (fun regularity ->
+                    List.concat_map
+                      (fun jump ->
+                        List.map
+                          (fun sample ->
+                            let shape =
+                              Shape.make ~width ~regularity ~density ~jump ()
+                            in
+                            { spec = Irregular { n_tasks; shape }; sample })
+                          (samples random_samples))
+                      jumps)
+                  regularities)
+              densities)
+          widths)
+      task_counts
+  in
+  let fft =
+    List.concat_map
+      (fun k ->
+        List.map (fun sample -> { spec = Fft { k }; sample })
+          (samples kernel_samples))
+      fft_ks
+  in
+  let strassen =
+    List.map (fun sample -> { spec = Strassen; sample }) (samples kernel_samples)
+  in
+  layered @ irregular @ fft @ strassen
+
+let scale_of_env () =
+  match Sys.getenv_opt "RATS_SCALE" with
+  | Some s when String.lowercase_ascii s = "paper" -> Paper
+  | _ -> Smoke
+
+let n_configs scale = List.length (all scale)

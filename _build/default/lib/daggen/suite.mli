@@ -1,0 +1,43 @@
+(** The paper's 557-configuration application suite (paper §IV-A, Table III).
+
+    - layered random DAGs: {25, 50, 100} tasks × width {0.2, 0.5, 0.8} ×
+      density {0.2, 0.8} × regularity {0.2, 0.8} × 3 samples = 108;
+    - irregular random DAGs: the same × jump {1, 2, 4} = 324;
+    - FFT: k ∈ {2, 4, 8, 16} (5/15/39/95 tasks) × 25 samples = 100;
+    - Strassen: 25 samples.
+
+    Every configuration owns a deterministic seed derived from its name, so
+    the whole study is reproducible and adding samples never perturbs
+    existing ones. *)
+
+type spec =
+  | Layered of { n_tasks : int; shape : Shape.t }
+  | Irregular of { n_tasks : int; shape : Shape.t }
+  | Fft of { k : int }
+  | Strassen
+
+type config = { spec : spec; sample : int }
+
+type app_kind = [ `Layered | `Irregular | `Fft | `Strassen ]
+
+val kind : config -> app_kind
+val kind_name : app_kind -> string
+
+val name : config -> string
+(** Unique, stable identifier, e.g. ["layered-n50-w0.5-d0.2-r0.8-s1"]. *)
+
+val seed : config -> int
+(** FNV-1a hash of {!name} — stable across runs and OCaml versions. *)
+
+val generate : config -> Rats_dag.Dag.t
+
+type scale = Smoke | Paper
+(** [Smoke]: one sample per parameter combination (149 configurations) for
+    fast runs; [Paper]: the full 557. *)
+
+val all : scale -> config list
+
+val scale_of_env : unit -> scale
+(** Reads [RATS_SCALE] ("smoke" / "paper"); defaults to [Smoke]. *)
+
+val n_configs : scale -> int

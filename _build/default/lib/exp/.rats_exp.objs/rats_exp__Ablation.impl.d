@@ -1,0 +1,1 @@
+lib/exp/ablation.ml: Array Format List Rats_core Rats_daggen Rats_platform Rats_util

@@ -1,0 +1,1 @@
+lib/exp/autotune.ml: Array Float List Rats_core Rats_dag Rats_daggen Rats_util Tuning

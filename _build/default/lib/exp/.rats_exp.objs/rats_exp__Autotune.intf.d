@@ -1,0 +1,1 @@
+lib/exp/autotune.mli: Rats_core Rats_daggen Rats_platform

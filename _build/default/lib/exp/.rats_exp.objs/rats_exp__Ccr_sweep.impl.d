@@ -1,0 +1,1 @@
+lib/exp/ccr_sweep.ml: Array Autotune Format List Rats_core Rats_dag Rats_daggen Rats_util

@@ -1,0 +1,1 @@
+lib/exp/ccr_sweep.mli: Format Rats_daggen Rats_platform

@@ -1,0 +1,1 @@
+lib/exp/figures.ml: Array Format Fun List Metrics Printf Rats_core Rats_daggen Rats_platform Rats_redist Runner String Tuning

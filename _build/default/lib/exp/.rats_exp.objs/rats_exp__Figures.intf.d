@@ -1,0 +1,1 @@
+lib/exp/figures.mli: Format Rats_daggen Rats_platform Runner Tuning

@@ -1,0 +1,1 @@
+lib/exp/metrics.ml: Array Float List Rats_util Runner

@@ -1,0 +1,1 @@
+lib/exp/runner.ml: List Printf Rats_core Rats_daggen Rats_platform

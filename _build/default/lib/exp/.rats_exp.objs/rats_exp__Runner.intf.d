@@ -1,0 +1,1 @@
+lib/exp/runner.mli: Rats_core Rats_daggen Rats_platform

@@ -1,0 +1,1 @@
+lib/exp/tuning.ml: Array List Rats_core Rats_daggen Rats_platform Rats_util Runner

@@ -1,0 +1,1 @@
+lib/exp/tuning.mli: Rats_core Rats_daggen Rats_platform

@@ -1,0 +1,143 @@
+module Suite = Rats_daggen.Suite
+module Cluster = Rats_platform.Cluster
+module Topology = Rats_platform.Topology
+module Core = Rats_core
+module Stats = Rats_util.Stats
+
+type ratio_row = {
+  label : string;
+  mean_ratio : float;
+  max_ratio : float;
+}
+
+let schedules_for cluster configs strategy =
+  List.map
+    (fun config ->
+      let dag = Suite.generate config in
+      let problem = Core.Problem.make ~dag ~cluster in
+      Core.Rats.schedule problem strategy)
+    configs
+
+let ratio_study cluster configs ~ablated ~full =
+  List.map
+    (fun (label, strategy) ->
+      let ratios =
+        List.map
+          (fun s ->
+            let a = (ablated s : Core.Evaluate.result) in
+            let f = (full s : Core.Evaluate.result) in
+            a.Core.Evaluate.makespan /. f.Core.Evaluate.makespan)
+          (schedules_for cluster configs strategy)
+        |> Array.of_list
+      in
+      {
+        label;
+        mean_ratio = Stats.mean ratios;
+        max_ratio = snd (Stats.min_max ratios);
+      })
+    [
+      ("hcpa", Core.Rats.Baseline);
+      ("time-cost", Core.Rats.Timecost Core.Rats.naive_timecost);
+    ]
+
+let placement_study cluster configs =
+  ratio_study cluster configs
+    ~ablated:(Core.Evaluate.run ~optimize_placement:false)
+    ~full:(Core.Evaluate.run ~optimize_placement:true)
+
+let replay_study cluster configs =
+  ratio_study cluster configs
+    ~ablated:(Core.Evaluate.run ~work_conserving:false)
+    ~full:(Core.Evaluate.run ~work_conserving:true)
+
+let window_values =
+  [ 16. *. 1024.; 65536.; 262144.; 1048576.; 4. *. 1048576. ]
+
+let window_study configs =
+  List.map
+    (fun tcp_wmax ->
+      let cluster =
+        Cluster.make ~name:"grelon-like"
+          ~topology:(Topology.Cabinets { cabinets = 5; per_cabinet = 24 })
+          ~speed_gflops:3.185 ~tcp_wmax ()
+      in
+      let makespans =
+        List.map
+          (fun s -> (Core.Evaluate.run s).Core.Evaluate.makespan)
+          (schedules_for cluster configs Core.Rats.Baseline)
+        |> Array.of_list
+      in
+      (tcp_wmax, Stats.mean makespans))
+    window_values
+
+let purity_study cluster configs =
+  let problems =
+    List.map
+      (fun config ->
+        Core.Problem.make ~dag:(Suite.generate config) ~cluster)
+      configs
+  in
+  let mean_of schedules =
+    Stats.mean
+      (Array.of_list
+         (List.map
+            (fun s -> (Core.Evaluate.run s).Core.Evaluate.makespan)
+            schedules))
+  in
+  let timecost =
+    mean_of
+      (List.map
+         (fun p -> Core.Rats.schedule p (Core.Rats.Timecost Core.Rats.naive_timecost))
+         problems)
+  in
+  let rows =
+    [
+      ("time-cost RATS", timecost);
+      ("hcpa", mean_of (List.map (fun p -> Core.Rats.schedule p Core.Rats.Baseline) problems));
+      ("pure data-parallel", mean_of (List.map Core.Reference.data_parallel problems));
+      ("pure task-parallel", mean_of (List.map Core.Reference.task_parallel problems));
+    ]
+  in
+  List.map (fun (label, v) -> (label, v /. timecost)) rows
+
+(* A small, shape-diverse subset keeps the studies affordable. *)
+let study_configs scale =
+  let all = Suite.all scale in
+  let firsts = List.filter (fun c -> c.Suite.sample = 0) all in
+  let n = List.length firsts in
+  let cap = 20 in
+  if n <= cap then firsts
+  else List.filteri (fun i _ -> i * cap / n <> (i - 1) * cap / n) firsts
+
+let print_all ppf scale =
+  let configs = study_configs scale in
+  let cluster = Cluster.grillon in
+  Format.fprintf ppf
+    "Ablation studies (%d configurations, %s cluster unless noted)@."
+    (List.length configs) cluster.Cluster.name;
+  Format.fprintf ppf
+    "@.1. Self-communication-maximizing placement (natural / optimized):@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "   %-12s mean x%.3f, worst x%.3f@." r.label
+        r.mean_ratio r.max_ratio)
+    (placement_study cluster configs);
+  Format.fprintf ppf
+    "@.2. Work-conserving replay (strict-order / work-conserving):@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "   %-12s mean x%.3f, worst x%.3f@." r.label
+        r.mean_ratio r.max_ratio)
+    (replay_study cluster configs);
+  Format.fprintf ppf
+    "@.3. TCP window sensitivity (grelon-like hierarchical cluster):@.";
+  List.iter
+    (fun (wmax, makespan) ->
+      Format.fprintf ppf "   Wmax=%8.0fKiB  mean makespan %10.2fs@."
+        (wmax /. 1024.) makespan)
+    (window_study configs);
+  Format.fprintf ppf
+    "@.4. Mixed parallelism vs pure corners (relative to time-cost RATS):@.";
+  List.iter
+    (fun (label, v) -> Format.fprintf ppf "   %-20s x%.3f@." label v)
+    (purity_study cluster configs)

@@ -1,0 +1,50 @@
+(** Ablation studies of the design choices DESIGN.md calls out.
+
+    Four questions, each answered by re-measuring the same schedules with
+    one mechanism disabled:
+
+    - {b placement}: how much does the self-communication-maximizing
+      receiver placement (paper §II-A) save, versus naturally ordered
+      receiver ranks?
+    - {b replay}: how much does the work-conserving execution discipline
+      save versus strictly serving each processor in the mapper's order
+      (head-of-line blocking)?
+    - {b window}: how sensitive are makespans to SimGrid's empirical TCP
+      bandwidth [β' = min(β, Wmax/RTT)]? Swept on a hierarchical cluster,
+      where 4-hop routes make the window bind first.
+    - {b purity}: mixed parallelism versus its two degenerate corners —
+      pure data parallelism and pure task parallelism (the motivation of
+      the paper's reference [1]). *)
+
+type ratio_row = {
+  label : string;
+  mean_ratio : float;  (** ablated / full, > 1 means the mechanism helps. *)
+  max_ratio : float;
+}
+
+val placement_study :
+  Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> ratio_row list
+(** One row per mapping strategy (HCPA baseline and time-cost RATS). *)
+
+val replay_study :
+  Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> ratio_row list
+
+val window_study :
+  Rats_daggen.Suite.config list -> (float * float) list
+(** [(tcp_wmax bytes, mean simulated makespan)] of HCPA schedules on a
+    grelon-like hierarchical cluster, for windows from 16 KiB to 4 MiB. *)
+
+val purity_study :
+  Rats_platform.Cluster.t -> Rats_daggen.Suite.config list ->
+  (string * float) list
+(** Mean simulated makespan of each strategy — time-cost RATS, HCPA, pure
+    data-parallel, pure task-parallel — normalized to time-cost RATS. *)
+
+val study_configs :
+  Rats_daggen.Suite.scale -> Rats_daggen.Suite.config list
+(** The thinned, shape-diverse configuration subset (≤ 20) the combined
+    studies run on. *)
+
+val print_all :
+  Format.formatter -> Rats_daggen.Suite.scale -> unit
+(** Runs all four studies on {!study_configs} and prints them. *)

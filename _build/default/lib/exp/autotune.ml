@@ -1,0 +1,134 @@
+module Core = Rats_core
+module Dag = Rats_dag.Dag
+
+type features = {
+  avg_parallelism : float;
+  ccr : float;
+  procs_per_parallelism : float;
+}
+
+let features problem =
+  let avg_parallelism = Core.Hcpa.average_parallelism problem in
+  let dag = Core.Problem.dag problem in
+  let comp = ref 0. and comm = ref 0. in
+  for i = 0 to Core.Problem.n_tasks problem - 1 do
+    comp := !comp +. Core.Problem.task_time problem i ~procs:1
+  done;
+  List.iter
+    (fun e ->
+      comm := !comm +. Core.Problem.edge_cost_estimate problem e.Dag.bytes)
+    (Dag.edges dag);
+  {
+    avg_parallelism;
+    ccr = (if !comp > 0. then !comm /. !comp else 0.);
+    procs_per_parallelism =
+      float_of_int (Core.Problem.n_procs problem) /. avg_parallelism;
+  }
+
+let estimated_makespan ~alloc problem strategy =
+  Core.Schedule.makespan_estimated (Core.Rats.schedule ~alloc problem strategy)
+
+let argmin_by f = function
+  | [] -> invalid_arg "Autotune: empty candidate list"
+  | x :: rest ->
+      let best = ref x and best_v = ref (f x) in
+      List.iter
+        (fun y ->
+          let v = f y in
+          if v < !best_v then begin
+            best := y;
+            best_v := v
+          end)
+        rest;
+      !best
+
+let probe_delta problem =
+  let alloc = Core.Hcpa.allocate problem in
+  let candidates =
+    List.concat_map
+      (fun mindelta ->
+        List.map
+          (fun maxdelta -> { Core.Rats.mindelta; maxdelta })
+          Tuning.maxdelta_values)
+      Tuning.mindelta_values
+  in
+  argmin_by
+    (fun p -> estimated_makespan ~alloc problem (Core.Rats.Delta p))
+    candidates
+
+let probe_timecost problem =
+  let alloc = Core.Hcpa.allocate problem in
+  let candidates =
+    List.concat_map
+      (fun packing ->
+        List.map (fun minrho -> { Core.Rats.minrho; packing }) Tuning.minrho_values)
+      [ false; true ]
+  in
+  argmin_by
+    (fun p -> estimated_makespan ~alloc problem (Core.Rats.Timecost p))
+    candidates
+
+let probe problem =
+  let alloc = Core.Hcpa.allocate problem in
+  let d = Core.Rats.Delta (probe_delta problem) in
+  let t = Core.Rats.Timecost (probe_timecost problem) in
+  if estimated_makespan ~alloc problem d < estimated_makespan ~alloc problem t
+  then d
+  else t
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let rules_delta f =
+  {
+    (* Figures 4: generous stretching always pays. Packing pays only when
+       independent tasks compete for a crowded platform (few processors per
+       unit of application parallelism). *)
+    Core.Rats.maxdelta = 1.;
+    mindelta = (if f.procs_per_parallelism < 3. then -0.25 else 0.);
+  }
+
+let rules_timecost f =
+  {
+    (* Figure 5: lower thresholds pay when communication dominates — a
+       stretch that kills a redistribution is then worth a poor time-cost
+       ratio. With cheap communication, stay conservative. *)
+    Core.Rats.minrho = clamp 0.2 0.8 (0.8 -. (0.3 *. f.ccr));
+    packing = true;
+  }
+
+let selector_study cluster configs =
+  let selectors =
+    [
+      ("naive delta", fun _ -> Core.Rats.Delta Core.Rats.naive_delta);
+      ("naive time-cost", fun _ -> Core.Rats.Timecost Core.Rats.naive_timecost);
+      ("probe", probe);
+      ("rules delta", fun p -> Core.Rats.Delta (rules_delta (features p)));
+      ( "rules time-cost",
+        fun p -> Core.Rats.Timecost (rules_timecost (features p)) );
+    ]
+  in
+  let prepared =
+    List.map
+      (fun config ->
+        let dag = Rats_daggen.Suite.generate config in
+        let problem = Core.Problem.make ~dag ~cluster in
+        let alloc = Core.Hcpa.allocate problem in
+        let hcpa =
+          Core.Algorithms.makespan (Core.Algorithms.run ~alloc problem Core.Rats.Baseline)
+        in
+        (problem, alloc, hcpa))
+      configs
+  in
+  List.map
+    (fun (name, select) ->
+      let ratios =
+        List.map
+          (fun (problem, alloc, hcpa) ->
+            let strategy = select problem in
+            Core.Algorithms.makespan (Core.Algorithms.run ~alloc problem strategy)
+            /. hcpa)
+          prepared
+        |> Array.of_list
+      in
+      (name, Rats_util.Stats.mean ratios))
+    selectors

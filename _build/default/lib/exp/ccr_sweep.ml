@@ -1,0 +1,63 @@
+module Suite = Rats_daggen.Suite
+module Dag = Rats_dag.Dag
+module Task = Rats_dag.Task
+module Core = Rats_core
+module Stats = Rats_util.Stats
+
+let flop_factors = [ 8.; 4.; 2.; 1.; 0.5; 0.25 ]
+
+type point = {
+  flop_factor : float;
+  ccr : float;
+  delta_relative : float;
+  timecost_relative : float;
+}
+
+let scale_flop dag factor =
+  Dag.map_tasks dag ~f:(fun t ->
+      Task.make ~id:t.Task.id ~name:t.Task.name
+        ~data_elements:t.Task.data_elements ~flop:(factor *. t.Task.flop)
+        ~alpha:t.Task.alpha)
+
+let run cluster configs =
+  let dags = List.map Suite.generate configs in
+  List.map
+    (fun flop_factor ->
+      let measurements =
+        List.map
+          (fun dag ->
+            let dag = scale_flop dag flop_factor in
+            let problem = Core.Problem.make ~dag ~cluster in
+            let alloc = Core.Hcpa.allocate problem in
+            let m strategy =
+              (Core.Algorithms.run ~alloc problem strategy).Core.Algorithms
+                .simulated
+                .Core.Evaluate.makespan
+            in
+            let hcpa = m Core.Rats.Baseline in
+            let ccr = (Autotune.features problem).Autotune.ccr in
+            ( ccr,
+              m (Core.Rats.Delta Core.Rats.naive_delta) /. hcpa,
+              m (Core.Rats.Timecost Core.Rats.naive_timecost) /. hcpa ))
+          dags
+      in
+      let col f = Stats.mean (Array.of_list (List.map f measurements)) in
+      {
+        flop_factor;
+        ccr = col (fun (c, _, _) -> c);
+        delta_relative = col (fun (_, d, _) -> d);
+        timecost_relative = col (fun (_, _, t) -> t);
+      })
+    flop_factors
+
+let print ppf points =
+  Format.fprintf ppf
+    "CCR crossover: makespan relative to HCPA as communication dominance \
+     varies@.";
+  Format.fprintf ppf "  %10s %8s %8s %10s@." "flop-scale" "CCR" "delta"
+    "time-cost";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %10.2f %8.2f %8.3f %10.3f@." p.flop_factor p.ccr
+        p.delta_relative p.timecost_relative)
+    points

@@ -1,0 +1,134 @@
+module Stats = Rats_util.Stats
+
+type series = { label : string; values : float array }
+
+let equal_tolerance = 1e-3
+
+let sorted_ratios results ~num ~den =
+  let values =
+    List.map (fun r -> num r /. den r) results |> Array.of_list
+  in
+  Array.sort compare values;
+  values
+
+let relative_makespan results =
+  let hcpa r = r.Runner.hcpa.Runner.makespan in
+  [
+    {
+      label = "delta";
+      values =
+        sorted_ratios results
+          ~num:(fun r -> r.Runner.delta.Runner.makespan)
+          ~den:hcpa;
+    };
+    {
+      label = "time-cost";
+      values =
+        sorted_ratios results
+          ~num:(fun r -> r.Runner.timecost.Runner.makespan)
+          ~den:hcpa;
+    };
+  ]
+
+let relative_work results =
+  let hcpa r = r.Runner.hcpa.Runner.work in
+  [
+    {
+      label = "delta";
+      values =
+        sorted_ratios results ~num:(fun r -> r.Runner.delta.Runner.work) ~den:hcpa;
+    };
+    {
+      label = "time-cost";
+      values =
+        sorted_ratios results
+          ~num:(fun r -> r.Runner.timecost.Runner.work)
+          ~den:hcpa;
+    };
+  ]
+
+let mean_and_win_fraction s =
+  (Stats.mean s.values, Stats.fraction_below s.values 1.)
+
+type pairwise_cell = { better : int; equal : int; worse : int }
+
+let labels = [| "HCPA"; "delta"; "time-cost" |]
+
+let makespan_of r = function
+  | 0 -> r.Runner.hcpa.Runner.makespan
+  | 1 -> r.Runner.delta.Runner.makespan
+  | _ -> r.Runner.timecost.Runner.makespan
+
+let compare_makespans a b =
+  if Float.abs (a -. b) <= equal_tolerance *. Float.max a b then 0
+  else if a < b then -1
+  else 1
+
+let pairwise results =
+  let zero = { better = 0; equal = 0; worse = 0 } in
+  let m = Array.init 3 (fun _ -> Array.make 3 zero) in
+  List.iter
+    (fun r ->
+      for i = 0 to 2 do
+        for j = 0 to 2 do
+          if i <> j then begin
+            let cell = m.(i).(j) in
+            m.(i).(j) <-
+              (match compare_makespans (makespan_of r i) (makespan_of r j) with
+              | -1 -> { cell with better = cell.better + 1 }
+              | 0 -> { cell with equal = cell.equal + 1 }
+              | _ -> { cell with worse = cell.worse + 1 })
+          end
+        done
+      done)
+    results;
+  (labels, m)
+
+let combined_percent m i =
+  let acc = ref { better = 0; equal = 0; worse = 0 } in
+  Array.iteri
+    (fun j cell ->
+      if j <> i then
+        acc :=
+          {
+            better = !acc.better + cell.better;
+            equal = !acc.equal + cell.equal;
+            worse = !acc.worse + cell.worse;
+          })
+    m.(i);
+  let total = !acc.better + !acc.equal + !acc.worse in
+  let pct x = if total = 0 then 0. else 100. *. float_of_int x /. float_of_int total in
+  (!acc, [| pct !acc.better; pct !acc.equal; pct !acc.worse |])
+
+type degradation = {
+  label : string;
+  avg_over_all : float;
+  n_not_best : int;
+  avg_over_not_best : float;
+}
+
+let degradation_from_best results =
+  let n = List.length results in
+  List.init 3 (fun i ->
+      let degradations =
+        List.map
+          (fun r ->
+            let mine = makespan_of r i in
+            let best =
+              Float.min (makespan_of r 0) (Float.min (makespan_of r 1) (makespan_of r 2))
+            in
+            let was_best = compare_makespans mine best = 0 in
+            let pct = if best > 0. then 100. *. ((mine /. best) -. 1.) else 0. in
+            (was_best, Float.max 0. pct))
+          results
+      in
+      let not_best = List.filter (fun (wb, _) -> not wb) degradations in
+      let sum l = List.fold_left (fun acc (_, p) -> acc +. p) 0. l in
+      let n_not_best = List.length not_best in
+      {
+        label = labels.(i);
+        avg_over_all = (if n = 0 then 0. else sum degradations /. float_of_int n);
+        n_not_best;
+        avg_over_not_best =
+          (if n_not_best = 0 then 0. else sum not_best /. float_of_int n_not_best);
+      })

@@ -1,0 +1,44 @@
+module Suite = Rats_daggen.Suite
+module Cluster = Rats_platform.Cluster
+module Core = Rats_core
+
+type measurement = { makespan : float; work : float }
+
+type result = {
+  config : Suite.config;
+  cluster : string;
+  hcpa : measurement;
+  delta : measurement;
+  timecost : measurement;
+}
+
+let strategy_measurement ?alloc problem strategy =
+  let outcome = Core.Algorithms.run ?alloc problem strategy in
+  {
+    makespan = Core.Algorithms.makespan outcome;
+    work = Core.Algorithms.work outcome;
+  }
+
+let run_config ?(delta = Core.Rats.naive_delta)
+    ?(timecost = Core.Rats.naive_timecost) cluster config =
+  let dag = Suite.generate config in
+  let problem = Core.Problem.make ~dag ~cluster in
+  let alloc = Core.Hcpa.allocate problem in
+  {
+    config;
+    cluster = cluster.Cluster.name;
+    hcpa = strategy_measurement ~alloc problem Core.Rats.Baseline;
+    delta = strategy_measurement ~alloc problem (Core.Rats.Delta delta);
+    timecost = strategy_measurement ~alloc problem (Core.Rats.Timecost timecost);
+  }
+
+let run_suite ?delta ?timecost ?(progress = false) scale cluster =
+  let configs = Suite.all scale in
+  let total = List.length configs in
+  List.mapi
+    (fun i config ->
+      if progress && i mod 25 = 0 then
+        Printf.eprintf "[%s] %d/%d %s\n%!" cluster.Cluster.name i total
+          (Suite.name config);
+      run_config ?delta ?timecost cluster config)
+    configs

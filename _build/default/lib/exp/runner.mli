@@ -1,0 +1,43 @@
+(** Experiment execution (paper §IV).
+
+    For each application configuration the three algorithms share the same
+    HCPA allocation (RATS reconsiders it during mapping); every schedule is
+    replayed in the simulation engine and measured by simulated makespan and
+    total work, the paper's two metrics. *)
+
+type measurement = { makespan : float; work : float }
+
+type result = {
+  config : Rats_daggen.Suite.config;
+  cluster : string;
+  hcpa : measurement;
+  delta : measurement;
+  timecost : measurement;
+}
+
+val run_config :
+  ?delta:Rats_core.Rats.delta_params ->
+  ?timecost:Rats_core.Rats.timecost_params ->
+  Rats_platform.Cluster.t ->
+  Rats_daggen.Suite.config ->
+  result
+(** Parameters default to the paper's naive values (±0.5, ρ = 0.5 with
+    packing). *)
+
+val run_suite :
+  ?delta:Rats_core.Rats.delta_params ->
+  ?timecost:Rats_core.Rats.timecost_params ->
+  ?progress:bool ->
+  Rats_daggen.Suite.scale ->
+  Rats_platform.Cluster.t ->
+  result list
+(** Runs every configuration of the suite on the cluster. [progress] (default
+    false) reports advancement on stderr. *)
+
+val strategy_measurement :
+  ?alloc:int array ->
+  Rats_core.Problem.t ->
+  Rats_core.Rats.strategy ->
+  measurement
+(** One algorithm on one prepared problem — the primitive {!Tuning} sweeps
+    use to avoid re-running the baseline for every parameter value. *)

@@ -1,0 +1,137 @@
+module Suite = Rats_daggen.Suite
+module Cluster = Rats_platform.Cluster
+module Core = Rats_core
+module Stats = Rats_util.Stats
+
+let mindelta_values = [ 0.; -0.25; -0.5; -0.75 ]
+let maxdelta_values = [ 0.; 0.25; 0.5; 0.75; 1. ]
+let minrho_values = [ 0.2; 0.4; 0.5; 0.6; 0.8; 1. ]
+
+type prepared = {
+  problem : Core.Problem.t;
+  alloc : int array;
+  hcpa_makespan : float;
+}
+
+let prepare cluster configs =
+  List.map
+    (fun config ->
+      let dag = Suite.generate config in
+      let problem = Core.Problem.make ~dag ~cluster in
+      let alloc = Core.Hcpa.allocate problem in
+      let hcpa =
+        Runner.strategy_measurement ~alloc problem Core.Rats.Baseline
+      in
+      { problem; alloc; hcpa_makespan = hcpa.Runner.makespan })
+    configs
+
+let configs_of_kind scale kind =
+  List.filter (fun c -> Suite.kind c = kind) (Suite.all scale)
+
+let tuning_configs scale kind =
+  let firsts =
+    List.filter (fun c -> c.Suite.sample = 0) (configs_of_kind scale kind)
+  in
+  let n = List.length firsts in
+  let cap = 24 in
+  if n <= cap then firsts
+  else
+    (* Even thinning keeps the whole shape spectrum represented. *)
+    List.filteri (fun i _ -> i * cap / n <> (i - 1) * cap / n) firsts
+
+let average_relative prepared strategy =
+  let ratios =
+    List.map
+      (fun p ->
+        let m = Runner.strategy_measurement ~alloc:p.alloc p.problem strategy in
+        m.Runner.makespan /. p.hcpa_makespan)
+      prepared
+  in
+  Stats.mean (Array.of_list ratios)
+
+type delta_point = {
+  mindelta : float;
+  maxdelta : float;
+  avg_relative_makespan : float;
+}
+
+let sweep_delta prepared =
+  List.concat_map
+    (fun mindelta ->
+      List.map
+        (fun maxdelta ->
+          let strategy = Core.Rats.Delta { mindelta; maxdelta } in
+          {
+            mindelta;
+            maxdelta;
+            avg_relative_makespan = average_relative prepared strategy;
+          })
+        maxdelta_values)
+    mindelta_values
+
+type timecost_point = {
+  packing : bool;
+  minrho : float;
+  avg_relative_makespan : float;
+}
+
+let sweep_timecost prepared =
+  List.concat_map
+    (fun packing ->
+      List.map
+        (fun minrho ->
+          let strategy = Core.Rats.Timecost { minrho; packing } in
+          {
+            packing;
+            minrho;
+            avg_relative_makespan = average_relative prepared strategy;
+          })
+        minrho_values)
+    [ false; true ]
+
+type tuned = { delta : Core.Rats.delta_params; minrho : float }
+
+let best delta_points timecost_points =
+  let best_delta =
+    List.fold_left
+      (fun (acc : delta_point option) (p : delta_point) ->
+        match acc with
+        | Some b when b.avg_relative_makespan <= p.avg_relative_makespan -> acc
+        | _ -> Some p)
+      None delta_points
+  in
+  let best_tc =
+    List.fold_left
+      (fun (acc : timecost_point option) p ->
+        if not p.packing then acc
+        else
+          match acc with
+          | Some b when b.avg_relative_makespan <= p.avg_relative_makespan -> acc
+          | _ -> Some p)
+      None timecost_points
+  in
+  match (best_delta, best_tc) with
+  | Some d, Some t ->
+      {
+        delta = { Core.Rats.mindelta = d.mindelta; maxdelta = d.maxdelta };
+        minrho = t.minrho;
+      }
+  | _ -> invalid_arg "Tuning.best: empty sweep"
+
+let kinds : Suite.app_kind list = [ `Fft; `Strassen; `Layered; `Irregular ]
+
+let table4 scale =
+  List.map
+    (fun cluster ->
+      let per_kind =
+        List.map
+          (fun kind ->
+            let prepared = prepare cluster (tuning_configs scale kind) in
+            let tuned = best (sweep_delta prepared) (sweep_timecost prepared) in
+            (kind, tuned))
+          kinds
+      in
+      (cluster.Cluster.name, per_kind))
+    Cluster.presets
+
+let tuned_for table ~cluster ~kind = List.assoc kind (List.assoc cluster table)

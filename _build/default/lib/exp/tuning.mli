@@ -1,0 +1,74 @@
+(** Parameter sweeps of §IV-C: Figures 4 and 5, Table IV.
+
+    For each application configuration the DAG, the HCPA allocation and the
+    HCPA baseline makespan are computed once; every grid point then only
+    pays its own RATS mapping + simulation. Averages are arithmetic means of
+    the per-configuration relative makespans, as in the paper. *)
+
+val mindelta_values : float list
+(** {0, −0.25, −0.5, −0.75} — 0 disables packing. *)
+
+val maxdelta_values : float list
+(** {0, 0.25, 0.5, 0.75, 1} — 0 disables stretching. *)
+
+val minrho_values : float list
+(** {0.2, 0.4, 0.5, 0.6, 0.8, 1}. *)
+
+type prepared
+(** A configuration ready for sweeping (problem + allocation + baseline). *)
+
+val prepare :
+  Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> prepared list
+
+val average_relative : prepared list -> Rats_core.Rats.strategy -> float
+(** Mean over the prepared configurations of (strategy makespan / HCPA
+    makespan). *)
+
+val configs_of_kind :
+  Rats_daggen.Suite.scale -> Rats_daggen.Suite.app_kind ->
+  Rats_daggen.Suite.config list
+
+val tuning_configs :
+  Rats_daggen.Suite.scale -> Rats_daggen.Suite.app_kind ->
+  Rats_daggen.Suite.config list
+(** Subsample used by {!table4}: first-sample configurations only, evenly
+    thinned to at most 24 per kind — the sweeps visit every grid point for
+    every configuration, so this bounds the tuning cost while covering all
+    shapes. *)
+
+type delta_point = {
+  mindelta : float;
+  maxdelta : float;
+  avg_relative_makespan : float;
+}
+
+val sweep_delta : prepared list -> delta_point list
+(** The full mindelta × maxdelta grid (Figure 4). *)
+
+type timecost_point = {
+  packing : bool;
+  minrho : float;
+  avg_relative_makespan : float;
+}
+
+val sweep_timecost : prepared list -> timecost_point list
+(** Both packing settings × every minrho (Figure 5). *)
+
+type tuned = { delta : Rats_core.Rats.delta_params; minrho : float }
+
+val best : delta_point list -> timecost_point list -> tuned
+(** Arg-min of each sweep; time-cost packing is always enabled in the tuned
+    setting (the paper observes packing always helps). *)
+
+val table4 :
+  Rats_daggen.Suite.scale ->
+  (string * (Rats_daggen.Suite.app_kind * tuned) list) list
+(** For every cluster, the tuned parameters per application kind — the
+    reproduction of Table IV. *)
+
+val tuned_for :
+  (string * (Rats_daggen.Suite.app_kind * tuned) list) list ->
+  cluster:string ->
+  kind:Rats_daggen.Suite.app_kind ->
+  tuned
+(** Lookup helper; raises [Not_found] on unknown keys. *)

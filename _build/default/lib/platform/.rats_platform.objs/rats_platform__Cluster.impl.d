@@ -1,0 +1,1 @@
+lib/platform/cluster.ml: Array Float Format Link Printf Rats_util Topology

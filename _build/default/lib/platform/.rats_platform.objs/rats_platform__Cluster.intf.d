@@ -1,0 +1,1 @@
+lib/platform/cluster.mli: Format Link Rats_util Topology

@@ -1,0 +1,1 @@
+lib/platform/link.ml: Format Rats_util

@@ -1,0 +1,65 @@
+(** Homogeneous commodity cluster (paper §II-B, Table II).
+
+    A cluster has [n_procs] single-core nodes of identical [speed] (flop/s),
+    each owning one private network link shared — bounded multi-port model —
+    by all flows it sends or receives. Hierarchical clusters add a per-cabinet
+    uplink. Link indices are global: node [i]'s private link has index [i];
+    cabinet [c]'s uplink has index [n_procs + c].
+
+    The three Grid'5000 clusters of the paper's evaluation are provided as
+    presets (HPL-measured speeds from Table II, gigabit interconnect). *)
+
+type t = private {
+  name : string;
+  topology : Topology.t;
+  speed : float;  (** Per-node computing speed, flop/s. *)
+  node_link : Link.t;
+  uplink : Link.t;  (** Per-cabinet uplink; unused for flat clusters. *)
+  tcp_wmax : float;
+      (** Maximal TCP window (bytes) for SimGrid's empirical bandwidth
+          [β' = min(β, Wmax/RTT)]. *)
+}
+
+val make :
+  name:string -> topology:Topology.t -> speed_gflops:float ->
+  ?node_link:Link.t -> ?uplink:Link.t -> ?tcp_wmax:float -> unit -> t
+(** Links default to {!Link.gigabit}; [tcp_wmax] defaults to 4 MiB. *)
+
+val n_procs : t -> int
+
+val n_links : t -> int
+(** Node links + cabinet uplinks. *)
+
+val link : t -> int -> Link.t
+(** Raises [Invalid_argument] on out-of-range link indices. *)
+
+val route : t -> src:int -> dst:int -> int array
+(** Link indices crossed by a flow from node [src] to node [dst]. Empty when
+    [src = dst] (local memory copy — free). Flat: both private links.
+    Hierarchical, different cabinets: both private links + both uplinks. *)
+
+val one_way_latency : t -> route:int array -> float
+(** Sum of link latencies along a route. *)
+
+val flow_rate_cap : t -> route:int array -> float
+(** SimGrid's empirical end-to-end bandwidth bound for the route:
+    [min(min_l β_l, Wmax / RTT)] with [RTT = 2 Σ λ_l]. [infinity] on the
+    empty route. *)
+
+val all_procs : t -> Rats_util.Procset.t
+
+(** {1 Paper presets (Table II)} *)
+
+val chti : t
+(** Lille: 20 nodes, 4.311 GFlop/s, flat gigabit switch. *)
+
+val grillon : t
+(** Nancy: 47 nodes, 3.379 GFlop/s, flat gigabit switch. *)
+
+val grelon : t
+(** Nancy: 120 nodes, 3.185 GFlop/s, 5 cabinets of 24 — hierarchical. *)
+
+val presets : t list
+(** [chti; grillon; grelon] — the evaluation's three clusters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+module Units = Rats_util.Units
+
+type t = { latency : float; bandwidth : float }
+
+let make ~latency ~bandwidth =
+  if latency < 0. then invalid_arg "Link.make: negative latency";
+  if bandwidth <= 0. then invalid_arg "Link.make: non-positive bandwidth";
+  { latency; bandwidth }
+
+let gigabit =
+  make ~latency:(Units.microseconds 100.) ~bandwidth:(Units.gbit_per_s 1.)
+
+let pp ppf l =
+  Format.fprintf ppf "%a/%.2fMB/s" Units.pp_time l.latency (l.bandwidth /. 1e6)

@@ -1,0 +1,15 @@
+(** Network link: latency (s) + bandwidth (bytes/s).
+
+    In the bounded multi-port model each node owns one private link that all
+    of its flows — sending and receiving — share; hierarchical clusters add
+    one uplink per cabinet. *)
+
+type t = { latency : float; bandwidth : float }
+
+val make : latency:float -> bandwidth:float -> t
+(** Raises [Invalid_argument] on negative latency or non-positive bandwidth. *)
+
+val gigabit : t
+(** The paper's cluster interconnect: 100 µs latency, 1 Gb/s bandwidth. *)
+
+val pp : Format.formatter -> t -> unit

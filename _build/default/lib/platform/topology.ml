@@ -1,0 +1,20 @@
+type t =
+  | Flat of int
+  | Cabinets of { cabinets : int; per_cabinet : int }
+
+let n_nodes = function
+  | Flat n -> n
+  | Cabinets { cabinets; per_cabinet } -> cabinets * per_cabinet
+
+let check_node t i =
+  if i < 0 || i >= n_nodes t then invalid_arg "Topology: node out of range"
+
+let cabinet_of t i =
+  check_node t i;
+  match t with
+  | Flat _ -> 0
+  | Cabinets { per_cabinet; _ } -> i / per_cabinet
+
+let n_uplinks = function Flat _ -> 0 | Cabinets { cabinets; _ } -> cabinets
+
+let same_cabinet t i j = cabinet_of t i = cabinet_of t j

@@ -1,0 +1,24 @@
+(** Cluster interconnect shape (paper §II-B).
+
+    Small clusters hang every node off a single switch ({!Flat}); larger ones
+    spread nodes across cabinets, each with its own switch, connected through
+    a top switch ({!Cabinets}). Switch backplanes are not contention points;
+    the shared resources are the per-node private links and, in the
+    hierarchical case, the per-cabinet uplinks. *)
+
+type t =
+  | Flat of int  (** [Flat n]: [n] nodes on one switch. *)
+  | Cabinets of { cabinets : int; per_cabinet : int }
+      (** [cabinets × per_cabinet] nodes; inter-cabinet traffic additionally
+          crosses both cabinets' uplinks. *)
+
+val n_nodes : t -> int
+
+val cabinet_of : t -> int -> int
+(** Cabinet index of a node (always 0 for {!Flat}). Raises
+    [Invalid_argument] on out-of-range nodes. *)
+
+val n_uplinks : t -> int
+(** 0 for {!Flat}, [cabinets] otherwise. *)
+
+val same_cabinet : t -> int -> int -> bool

@@ -1,0 +1,1 @@
+lib/redist/block.ml: Array List

@@ -1,0 +1,1 @@
+lib/redist/placement.ml: Array Block Hashtbl List Rats_util

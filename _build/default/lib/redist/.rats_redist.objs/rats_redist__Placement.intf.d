@@ -1,0 +1,1 @@
+lib/redist/placement.mli: Rats_util

@@ -1,0 +1,1 @@
+lib/redist/redistribution.ml: Array Block List Placement Rats_platform Rats_util

@@ -1,0 +1,1 @@
+lib/redist/redistribution.mli: Rats_platform Rats_util

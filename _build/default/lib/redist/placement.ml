@@ -1,0 +1,57 @@
+module Procset = Rats_util.Procset
+
+let receiver_ranks ~sender ~receiver ~bytes =
+  let p = Procset.size sender and q = Procset.size receiver in
+  if p = 0 || q = 0 then invalid_arg "Placement.receiver_ranks: empty set";
+  let shared = Procset.inter sender receiver in
+  let natural () = Procset.to_array receiver in
+  if Procset.is_empty shared || bytes <= 0. then natural ()
+  else begin
+    (* Candidate (overlap, proc, receiver rank) for every shared processor,
+       looking only at the banded non-zero column range of its sender row. *)
+    let candidates = ref [] in
+    Procset.iter
+      (fun proc ->
+        match Procset.rank proc sender with
+        | None -> assert false
+        | Some i ->
+            let j_lo = i * q / p and j_hi = min (q - 1) ((((i + 1) * q) - 1) / p) in
+            for j = j_lo to j_hi do
+              let a = Block.overlap ~amount:bytes ~senders:p ~receivers:q i j in
+              if a > 0. then candidates := (a, proc, j) :: !candidates
+            done)
+      shared;
+    let sorted =
+      List.sort (fun (a, p1, j1) (b, p2, j2) ->
+          (* Largest overlap first; deterministic tie-break. *)
+          match compare b a with 0 -> compare (p1, j1) (p2, j2) | c -> c)
+        !candidates
+    in
+    let place = Array.make q (-1) in
+    let placed = Hashtbl.create 16 in
+    List.iter
+      (fun (_, proc, j) ->
+        if place.(j) = -1 && not (Hashtbl.mem placed proc) then begin
+          place.(j) <- proc;
+          Hashtbl.add placed proc ()
+        end)
+      sorted;
+    (* Fill the holes with the unplaced processors, ascending. *)
+    let rest =
+      Procset.fold
+        (fun proc acc -> if Hashtbl.mem placed proc then acc else proc :: acc)
+        receiver []
+      |> List.rev
+    in
+    let rest = ref rest in
+    Array.iteri
+      (fun j v ->
+        if v = -1 then
+          match !rest with
+          | [] -> assert false
+          | proc :: tl ->
+              place.(j) <- proc;
+              rest := tl)
+      place;
+    place
+  end

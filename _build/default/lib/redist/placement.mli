@@ -1,0 +1,30 @@
+(** Receiver rank placement maximizing self-communication.
+
+    When the sender and receiver processor sets of a redistribution
+    intersect, the bytes a shared processor would "send to itself" cost
+    nothing. The sender-side rank→processor map is fixed (the data already
+    lives there, rank order = ascending processor order); the receiver side
+    is free, so we pick the receiver rank of each shared processor to
+    maximize the amount kept local (paper §II-A: "our redistribution
+    algorithm tries to maximize the amount of self communications").
+
+    Exact maximization is an assignment problem; we use the standard greedy:
+    consider each shared processor's best (sender rank, receiver rank)
+    overlap in decreasing order and claim free receiver ranks, then fill the
+    remaining ranks with the remaining processors in ascending order. For
+    block distributions the overlap matrix is banded, so each shared
+    processor has at most ⌈p/q⌉+1 candidate ranks and greedy is near-optimal.
+
+    Note: subsequent redistributions model the data on the receiver set in
+    ascending processor order again; the placement permutation is a
+    mapping-time optimization, mirroring the paper's simulator. *)
+
+val receiver_ranks :
+  sender:Rats_util.Procset.t ->
+  receiver:Rats_util.Procset.t ->
+  bytes:float ->
+  int array
+(** [receiver_ranks ~sender ~receiver ~bytes] returns [place] with
+    [place.(j)] = the processor holding receiver rank [j]. A permutation of
+    [receiver]'s members; equals ascending order when the sets are disjoint
+    or [bytes = 0]. Raises [Invalid_argument] if either set is empty. *)

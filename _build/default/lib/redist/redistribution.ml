@@ -1,0 +1,67 @@
+module Procset = Rats_util.Procset
+module Cluster = Rats_platform.Cluster
+module Link = Rats_platform.Link
+
+type transfer = { src : int; dst : int; bytes : float }
+
+let plan ?(optimize_placement = true) ~sender ~receiver ~bytes () =
+  if Procset.is_empty sender || Procset.is_empty receiver then
+    invalid_arg "Redistribution.plan: empty processor set";
+  if bytes <= 0. then []
+  else if Procset.equal sender receiver then
+    (* Identical sets: by assumption the redistribution is free; represent it
+       as a single local transfer so observers still see the data motion. *)
+    [ { src = Procset.nth sender 0; dst = Procset.nth sender 0; bytes } ]
+  else begin
+    let p = Procset.size sender and q = Procset.size receiver in
+    let entries = Block.comm_matrix ~amount:bytes ~senders:p ~receivers:q in
+    let place =
+      if optimize_placement then Placement.receiver_ranks ~sender ~receiver ~bytes
+      else Array.of_list (Procset.to_list receiver)
+    in
+    List.map
+      (fun (i, j, amount) ->
+        { src = Procset.nth sender i; dst = place.(j); bytes = amount })
+      entries
+  end
+
+let remote_bytes transfers =
+  List.fold_left
+    (fun acc t -> if t.src <> t.dst then acc +. t.bytes else acc)
+    0. transfers
+
+let local_bytes transfers =
+  List.fold_left
+    (fun acc t -> if t.src = t.dst then acc +. t.bytes else acc)
+    0. transfers
+
+let estimate cluster transfers =
+  let n_links = Cluster.n_links cluster in
+  let load = Array.make n_links 0. in
+  let max_latency = ref 0. in
+  let any_remote = ref false in
+  List.iter
+    (fun t ->
+      if t.src <> t.dst && t.bytes > 0. then begin
+        any_remote := true;
+        let route = Cluster.route cluster ~src:t.src ~dst:t.dst in
+        Array.iter (fun l -> load.(l) <- load.(l) +. t.bytes) route;
+        let lat = Cluster.one_way_latency cluster ~route in
+        if lat > !max_latency then max_latency := lat
+      end)
+    transfers;
+  if not !any_remote then 0.
+  else begin
+    let drain = ref 0. in
+    for l = 0 to n_links - 1 do
+      if load.(l) > 0. then begin
+        let t = load.(l) /. (Cluster.link cluster l).Link.bandwidth in
+        if t > !drain then drain := t
+      end
+    done;
+    !max_latency +. !drain
+  end
+
+let estimate_between cluster ~sender ~receiver ~bytes =
+  if bytes <= 0. || Procset.equal sender receiver then 0.
+  else estimate cluster (plan ~sender ~receiver ~bytes ())

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Float List Maxmin Rats_platform Rats_util

@@ -1,0 +1,151 @@
+module Cluster = Rats_platform.Cluster
+module Pqueue = Rats_util.Pqueue
+
+type flow = {
+  links : int array;
+  rate_cap : float;
+  mutable remaining : float;
+  on_complete : t -> unit;
+}
+
+and t = {
+  cluster : Cluster.t;
+  mutable time : float;
+  events : (t -> unit) Pqueue.t;
+  mutable flows : flow list;  (* active, transferring *)
+  mutable rates : (flow * float) list;  (* memoized fair rates *)
+  mutable rates_valid : bool;
+}
+
+let create cluster =
+  {
+    cluster;
+    time = 0.;
+    events = Pqueue.create ();
+    flows = [];
+    rates = [];
+    rates_valid = false;
+  }
+
+let cluster t = t.cluster
+let now t = t.time
+
+let at t time f =
+  if time < t.time -. 1e-12 then invalid_arg "Engine.at: time in the past";
+  Pqueue.push t.events (Float.max time t.time) f
+
+let after t delay f = at t (t.time +. Float.max 0. delay) f
+
+let activate_flow t flow =
+  t.flows <- flow :: t.flows;
+  t.rates_valid <- false
+
+let start_flow t ~src ~dst ~bytes ~on_complete =
+  let route = Cluster.route t.cluster ~src ~dst in
+  if bytes <= 0. || Array.length route = 0 then
+    (* Free transfer: local copy or empty payload. Completion still goes
+       through the queue so observers see a consistent event order. *)
+    at t t.time (fun t -> on_complete t)
+  else begin
+    let latency = Cluster.one_way_latency t.cluster ~route in
+    let rate_cap = Cluster.flow_rate_cap t.cluster ~route in
+    let flow = { links = route; rate_cap; remaining = bytes; on_complete } in
+    after t latency (fun t -> activate_flow t flow)
+  end
+
+let active_flows t = List.length t.flows
+
+let recompute_rates t =
+  let flows = Array.of_list t.flows in
+  let mflows =
+    Array.map
+      (fun f -> { Maxmin.links = f.links; rate_cap = f.rate_cap })
+      flows
+  in
+  let rates =
+    Maxmin.solve
+      ~n_links:(Cluster.n_links t.cluster)
+      ~capacity:(fun l -> (Cluster.link t.cluster l).Rats_platform.Link.bandwidth)
+      mflows
+  in
+  t.rates <- Array.to_list (Array.mapi (fun i f -> (f, rates.(i))) flows);
+  t.rates_valid <- true
+
+(* A transferred remainder below this is rounding noise (sub-microbyte). *)
+let eps_bytes = 1e-6
+
+let next_flow_completion t =
+  List.fold_left
+    (fun acc (f, rate) ->
+      if rate <= 0. then acc
+      else Float.min acc (t.time +. (f.remaining /. rate)))
+    infinity t.rates
+
+(* Advance the clock to [date], draining flow payloads at current rates. A
+   flow also counts as finished when its residue would drain within a
+   nanosecond: otherwise a residue smaller than the clock's ulp could stall
+   the simulation (time would stop advancing). *)
+let advance_to t date =
+  let dt = date -. t.time in
+  if dt > 0. then
+    List.iter (fun (f, rate) -> f.remaining <- f.remaining -. (rate *. dt)) t.rates;
+  t.time <- date;
+  let finished, running =
+    List.partition
+      (fun (f, rate) -> f.remaining <= eps_bytes +. (rate *. 1e-9))
+      t.rates
+  in
+  if finished <> [] then begin
+    t.flows <- List.map fst running;
+    t.rates_valid <- false;
+    List.iter (fun (f, _) -> f.on_complete t) finished
+  end
+
+let step t =
+  if not t.rates_valid then recompute_rates t;
+  let t_flow = next_flow_completion t in
+  let t_event =
+    match Pqueue.peek t.events with None -> infinity | Some (d, _) -> d
+  in
+  let date = Float.min t_flow t_event in
+  if date = infinity then false
+  else begin
+    advance_to t date;
+    (* Run every callback scheduled at this date (callbacks may enqueue more
+       work at the same date; keep draining). *)
+    let rec drain () =
+      match Pqueue.peek t.events with
+      | Some (d, _) when d <= t.time +. 1e-15 -> (
+          match Pqueue.pop t.events with
+          | Some (_, f) ->
+              f t;
+              drain ()
+          | None -> ())
+      | _ -> ()
+    in
+    drain ();
+    true
+  end
+
+let run t =
+  while step t do
+    ()
+  done;
+  t.time
+
+let run_until t date =
+  if date < t.time then invalid_arg "Engine.run_until: date in the past";
+  let continue = ref true in
+  while !continue do
+    if not t.rates_valid then recompute_rates t;
+    let t_flow = next_flow_completion t in
+    let t_event =
+      match Pqueue.peek t.events with None -> infinity | Some (d, _) -> d
+    in
+    let next = Float.min t_flow t_event in
+    if next > date then begin
+      advance_to t date;
+      continue := false
+    end
+    else ignore (step t)
+  done

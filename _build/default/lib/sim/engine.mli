@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine for flows and timers.
+
+    This is the repository's stand-in for SimGrid (see DESIGN.md §4): a
+    classic event-driven core where network flows share link bandwidth under
+    Max-Min fairness (bounded multi-port model) and computations are timers —
+    on a homogeneous cluster with dedicated processors a task's duration is
+    known once its allocation is, so no processor-sharing model is needed;
+    exclusivity is enforced by the driver (the schedule evaluator).
+
+    A flow from [src] to [dst] experiences the route's one-way latency, then
+    transfers its payload at the Max-Min fair rate, re-evaluated every time a
+    flow starts or finishes, subject to SimGrid's empirical end-to-end cap
+    [β' = min(β, Wmax/RTT)]. A flow with [src = dst] is a local memory copy
+    and completes instantly — redistribution between identical processor sets
+    is free (paper §II-A). *)
+
+type t
+
+val create : Rats_platform.Cluster.t -> t
+
+val cluster : t -> Rats_platform.Cluster.t
+val now : t -> float
+
+val at : t -> float -> (t -> unit) -> unit
+(** [at eng time f] schedules callback [f] at absolute [time] ≥ [now eng]
+    (raises [Invalid_argument] on past times). Callbacks at equal times run
+    in scheduling order. *)
+
+val after : t -> float -> (t -> unit) -> unit
+(** [after eng delay f] = [at eng (now eng +. delay)]. *)
+
+val start_flow :
+  t -> src:int -> dst:int -> bytes:float ->
+  on_complete:(t -> unit) -> unit
+(** Starts a flow now. [on_complete] fires when the last byte arrives. Zero
+    (or negative) payloads and self-flows complete at [now] (still through
+    the event queue, preserving causality). *)
+
+val active_flows : t -> int
+
+val run : t -> float
+(** Runs until no event or flow remains; returns the final simulated time. *)
+
+val run_until : t -> float -> unit
+(** Advances simulated time to exactly the given date, processing everything
+    scheduled before it. *)

@@ -1,0 +1,78 @@
+type flow = { links : int array; rate_cap : float }
+
+let solve ~n_links ~capacity flows =
+  let n = Array.length flows in
+  let rates = Array.make n 0. in
+  let frozen = Array.make n false in
+  let rem = Array.init n_links capacity in
+  let users = Array.make n_links 0 in
+  (* Validate and set up link user counts. *)
+  Array.iteri
+    (fun i f ->
+      if f.rate_cap <= 0. then invalid_arg "Maxmin.solve: non-positive cap";
+      Array.iter
+        (fun l ->
+          if l < 0 || l >= n_links then invalid_arg "Maxmin.solve: bad link";
+          if rem.(l) <= 0. then invalid_arg "Maxmin.solve: non-positive capacity";
+          users.(l) <- users.(l) + 1)
+        f.links;
+      (* Unconstrained flows saturate immediately. *)
+      if Array.length f.links = 0 && f.rate_cap = infinity then begin
+        rates.(i) <- infinity;
+        frozen.(i) <- true
+      end)
+    flows;
+  let active =
+    ref (Array.fold_left (fun acc b -> if b then acc else acc + 1) 0 frozen)
+  in
+  while !active > 0 do
+    (* Water level increment: the smallest margin before a link saturates or
+       a flow reaches its cap. *)
+    let level = ref infinity in
+    for l = 0 to n_links - 1 do
+      if users.(l) > 0 then
+        level := Float.min !level (rem.(l) /. float_of_int users.(l))
+    done;
+    for i = 0 to n - 1 do
+      if not frozen.(i) then
+        level := Float.min !level (flows.(i).rate_cap -. rates.(i))
+    done;
+    if !level = infinity then
+      (* Only capless, linkless... cannot happen: such flows were frozen. *)
+      invalid_arg "Maxmin.solve: unbounded flow";
+    let level = !level in
+    for i = 0 to n - 1 do
+      if not frozen.(i) then rates.(i) <- rates.(i) +. level
+    done;
+    for l = 0 to n_links - 1 do
+      if users.(l) > 0 then rem.(l) <- rem.(l) -. (level *. float_of_int users.(l))
+    done;
+    (* Freeze flows on saturated links or at their cap. *)
+    let eps_of cap = 1e-9 *. Float.max 1. cap in
+    for i = 0 to n - 1 do
+      if not frozen.(i) then begin
+        let f = flows.(i) in
+        let saturated_link =
+          Array.exists (fun l -> rem.(l) <= eps_of (capacity l)) f.links
+        in
+        let at_cap =
+          f.rate_cap < infinity
+          && f.rate_cap -. rates.(i) <= eps_of f.rate_cap
+        in
+        if saturated_link || at_cap then begin
+          frozen.(i) <- true;
+          decr active;
+          Array.iter (fun l -> users.(l) <- users.(l) - 1) f.links
+        end
+      end
+    done
+  done;
+  rates
+
+let utilization ~n_links flows ~rates l =
+  if l < 0 || l >= n_links then invalid_arg "Maxmin.utilization: bad link";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i f -> if Array.exists (fun x -> x = l) f.links then acc := !acc +. rates.(i))
+    flows;
+  !acc

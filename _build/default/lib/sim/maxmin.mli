@@ -1,0 +1,28 @@
+(** Max-Min fair bandwidth sharing (the core of the SimGrid contention model,
+    paper §IV-A).
+
+    Given a set of links with finite capacities and a set of flows, each
+    crossing a subset of the links and optionally bounded by an end-to-end
+    rate cap (SimGrid's empirical TCP bandwidth [β' = min(β, Wmax/RTT)]),
+    compute the unique Max-Min fair rate vector by progressive filling: all
+    unfrozen flow rates grow at the same speed; when a link saturates (or a
+    flow hits its cap) the flows it carries freeze; repeat.
+
+    A flow crossing no links and having an infinite cap gets rate
+    [infinity]. *)
+
+type flow = {
+  links : int array;  (** Indices of the links the flow crosses. *)
+  rate_cap : float;  (** End-to-end bound; [infinity] when unconstrained. *)
+}
+
+val solve : n_links:int -> capacity:(int -> float) -> flow array -> float array
+(** [solve ~n_links ~capacity flows] returns the fair rate of each flow, in
+    the order of [flows]. [capacity l] must be > 0 for every link crossed by
+    some flow. Raises [Invalid_argument] on out-of-range link indices or
+    non-positive capacities/caps. *)
+
+val utilization :
+  n_links:int -> flow array -> rates:float array -> int -> float
+(** [utilization ~n_links flows ~rates l] is the total rate crossing link
+    [l] — handy for asserting feasibility in tests. *)

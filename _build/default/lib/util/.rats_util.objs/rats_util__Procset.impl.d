@@ -1,0 +1,1 @@
+lib/util/procset.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/util/procset.mli: Format

@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy r = { state = r.state }
+
+(* SplitMix64 output function: one additive step then two xor-shift-multiply
+   mixing rounds (constants from the reference implementation). *)
+let int64 r =
+  r.state <- Int64.add r.state golden_gamma;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split r = { state = int64 r }
+
+(* 53 random bits mapped to [0,1). *)
+let unit_float r =
+  let bits = Int64.shift_right_logical (int64 r) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float r bound =
+  assert (bound > 0.);
+  unit_float r *. bound
+
+let uniform r lo hi =
+  assert (lo <= hi);
+  lo +. (unit_float r *. (hi -. lo))
+
+let int r n =
+  assert (n > 0);
+  (* Rejection-free modulo is fine here: n is tiny w.r.t. 2^62 so the bias is
+     immeasurable for simulation purposes. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 r) 2) in
+  v mod n
+
+let int_range r lo hi =
+  assert (lo <= hi);
+  lo + int r (hi - lo + 1)
+
+let bool r p = unit_float r < p
+
+let shuffle r a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int r (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,54 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 1.
+  else begin
+    let log_sum =
+      Array.fold_left
+        (fun acc x ->
+          if x <= 0. then invalid_arg "Stats.geometric_mean: non-positive value";
+          acc +. log x)
+        0. xs
+    in
+    exp (log_sum /. float_of_int n)
+  end
+
+let sorted_copy xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let s = sorted_copy xs in
+    if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.
+  end
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (sq /. float_of_int n)
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let fraction_below xs x =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let c = Array.fold_left (fun acc v -> if v < x then acc + 1 else acc) 0 xs in
+    float_of_int c /. float_of_int n
+  end

@@ -1,0 +1,22 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values; 1 on the empty array. *)
+
+val median : float array -> float
+(** Median (average of middle pair for even lengths); 0 on the empty array.
+    Does not modify its argument. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays of length < 2. *)
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on the empty array. *)
+
+val fraction_below : float array -> float -> float
+(** [fraction_below xs x] is the fraction of elements strictly below [x]. *)
+
+val sorted_copy : float array -> float array

@@ -1,0 +1,19 @@
+let mega = 1048576.
+let giga = 1e9
+let gibi = 1073741824.
+let bytes_per_element = 8.
+
+let gflops x = x *. giga
+let gbit_per_s x = x *. giga /. 8.
+let microseconds x = x *. 1e-6
+
+let pp_time ppf t =
+  if t < 1e-3 then Format.fprintf ppf "%.2fus" (t *. 1e6)
+  else if t < 1. then Format.fprintf ppf "%.2fms" (t *. 1e3)
+  else Format.fprintf ppf "%.3fs" t
+
+let pp_bytes ppf b =
+  if b < 1024. then Format.fprintf ppf "%.0fB" b
+  else if b < 1048576. then Format.fprintf ppf "%.1fKiB" (b /. 1024.)
+  else if b < gibi then Format.fprintf ppf "%.1fMiB" (b /. 1048576.)
+  else Format.fprintf ppf "%.2fGiB" (b /. gibi)

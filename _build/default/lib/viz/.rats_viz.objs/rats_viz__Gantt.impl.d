@@ -1,0 +1,1 @@
+lib/viz/gantt.ml: Array Float List Printf Rats_core Rats_util Svg

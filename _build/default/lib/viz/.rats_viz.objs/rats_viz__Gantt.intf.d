@@ -1,0 +1,1 @@
+lib/viz/gantt.mli: Rats_core Svg

@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Buffer Fun List Printf String

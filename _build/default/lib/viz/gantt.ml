@@ -1,0 +1,88 @@
+module Schedule = Rats_core.Schedule
+module Evaluate = Rats_core.Evaluate
+module Problem = Rats_core.Problem
+module Procset = Rats_util.Procset
+
+let margin_left = 60.
+let margin_top = 40.
+let row_height = 14.
+let row_gap = 2.
+let chart_width = 900.
+
+(* Stable, readable task colors: hue from a hash of the id, fixed
+   saturation/lightness. *)
+let color_of_task id =
+  let hue = (id * 2654435761) land 0xFFFF mod 360 in
+  Printf.sprintf "hsl(%d, 65%%, 55%%)" hue
+
+let render schedule result ~title =
+  let problem = Schedule.problem schedule in
+  let n_procs = Problem.n_procs problem in
+  let makespan = Float.max 1e-9 result.Evaluate.makespan in
+  let height =
+    margin_top
+    +. (float_of_int n_procs *. (row_height +. row_gap))
+    +. 30. (* axis *)
+    +. row_height +. 14. (* network lane *)
+  in
+  let svg = Svg.create ~width:(chart_width +. margin_left +. 20.) ~height in
+  Svg.title svg ~x:margin_left ~y:20. title;
+  let x_of time = margin_left +. (time /. makespan *. chart_width) in
+  let y_of proc = margin_top +. (float_of_int proc *. (row_height +. row_gap)) in
+  (* Axis with ~8 ticks. *)
+  let axis_y = margin_top +. (float_of_int n_procs *. (row_height +. row_gap)) in
+  Svg.line svg ~x1:margin_left ~y1:axis_y ~x2:(x_of makespan) ~y2:axis_y
+    ~stroke:"#444" ();
+  for k = 0 to 8 do
+    let time = makespan *. float_of_int k /. 8. in
+    let x = x_of time in
+    Svg.line svg ~x1:x ~y1:axis_y ~x2:x ~y2:(axis_y +. 4.) ~stroke:"#444" ();
+    Svg.text svg ~x ~y:(axis_y +. 14.) ~size:8. ~anchor:"middle"
+      (Printf.sprintf "%.1fs" time)
+  done;
+  (* Processor labels. *)
+  for q = 0 to n_procs - 1 do
+    if n_procs <= 32 || q mod 8 = 0 then
+      Svg.text svg ~x:(margin_left -. 6.) ~y:(y_of q +. row_height -. 3.)
+        ~size:8. ~anchor:"end"
+        (Printf.sprintf "p%d" q)
+  done;
+  (* Task boxes. *)
+  Array.iter
+    (fun e ->
+      let t = e.Schedule.task in
+      if not (Problem.is_virtual problem t) then begin
+        let start = result.Evaluate.starts.(t)
+        and finish = result.Evaluate.finishes.(t) in
+        let x = x_of start in
+        let w = Float.max 0.5 (x_of finish -. x) in
+        Procset.iter
+          (fun q ->
+            Svg.rect svg ~x ~y:(y_of q) ~w ~h:row_height
+              ~stroke:"#333" ~fill:(color_of_task t) ())
+          e.Schedule.procs;
+        (* Label the task once, on its first processor, if the box is wide
+           enough to hold it. *)
+        if w > 18. then
+          Svg.text svg ~x:(x +. 2.)
+            ~y:(y_of (Procset.nth e.Schedule.procs 0) +. row_height -. 3.)
+            ~size:8. ~fill:"#fff"
+            (string_of_int t)
+      end)
+    (Schedule.entries schedule);
+  (* Network lane: every paid redistribution as a translucent bar, colored
+     by the producing task. *)
+  let net_y = axis_y +. 20. in
+  Svg.text svg ~x:(margin_left -. 6.) ~y:(net_y +. row_height -. 3.) ~size:8.
+    ~anchor:"end" "net";
+  List.iter
+    (fun (s : Evaluate.span) ->
+      let x = x_of s.Evaluate.span_start in
+      let w = Float.max 0.5 (x_of s.Evaluate.span_finish -. x) in
+      Svg.rect svg ~x ~y:net_y ~w ~h:row_height ~opacity:0.45
+        ~fill:(color_of_task s.Evaluate.src_task) ())
+    result.Evaluate.spans;
+  svg
+
+let save schedule result ~title ~path =
+  Svg.save (render schedule result ~title) path

@@ -1,0 +1,15 @@
+(** Gantt-chart rendering of simulated schedules.
+
+    One row per processor, one colored box per task execution span (using
+    the {e simulated} start/finish dates from {!Rats_core.Evaluate}), with a
+    time axis and a task color derived from the task id, so the same task is
+    recognizable across the processors of its set. Virtual entry/exit tasks
+    are skipped (zero width anyway). Useful to eyeball where RATS removes
+    redistribution gaps compared to the baseline. *)
+
+val render :
+  Rats_core.Schedule.t -> Rats_core.Evaluate.result -> title:string -> Svg.t
+
+val save :
+  Rats_core.Schedule.t -> Rats_core.Evaluate.result -> title:string ->
+  path:string -> unit

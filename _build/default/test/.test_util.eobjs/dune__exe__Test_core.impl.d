@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Fun Hashtbl List Option Printf Rats_core Rats_dag Rats_daggen Rats_platform Rats_util

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Format List QCheck QCheck_alcotest Rats_dag Rats_daggen Rats_util String

@@ -1,0 +1,1 @@
+test/test_daggen.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rats_dag Rats_daggen Rats_util

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Filename Float Format Lazy List Rats_core Rats_daggen Rats_exp Rats_platform String Sys

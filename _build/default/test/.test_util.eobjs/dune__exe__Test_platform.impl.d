@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest List Rats_platform Rats_util

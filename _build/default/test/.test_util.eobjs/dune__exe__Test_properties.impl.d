@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Rats_core Rats_dag Rats_daggen Rats_platform Rats_redist Rats_util

@@ -1,0 +1,1 @@
+test/test_redist.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Rats_platform Rats_redist Rats_util

@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Array Lazy List Printf Rats_core Rats_daggen Rats_exp Rats_platform Rats_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Fun Gen Hashtbl List QCheck QCheck_alcotest Rats_platform Rats_sim Rats_util

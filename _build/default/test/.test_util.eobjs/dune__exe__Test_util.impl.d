@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Format Fun List Option QCheck QCheck_alcotest Rats_util

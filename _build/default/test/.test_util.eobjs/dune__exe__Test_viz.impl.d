@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Filename Rats_core Rats_daggen Rats_platform Rats_util Rats_viz String Sys Unix

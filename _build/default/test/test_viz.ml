@@ -1,0 +1,115 @@
+(* Tests for rats_viz: SVG builder and Gantt rendering. *)
+
+module Svg = Rats_viz.Svg
+module Gantt = Rats_viz.Gantt
+module Core = Rats_core
+module Suite = Rats_daggen.Suite
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_svg_structure () =
+  let svg = Svg.create ~width:100. ~height:50. in
+  Svg.rect svg ~x:1. ~y:2. ~w:10. ~h:5. ~fill:"red" ();
+  Svg.line svg ~x1:0. ~y1:0. ~x2:9. ~y2:9. ~stroke:"blue" ();
+  Svg.text svg ~x:5. ~y:5. "hello";
+  let out = Svg.to_string svg in
+  Alcotest.(check bool) "svg root" true (contains out "<svg xmlns");
+  Alcotest.(check bool) "has rect" true (contains out "<rect");
+  Alcotest.(check bool) "has line" true (contains out "<line");
+  Alcotest.(check bool) "has text" true (contains out ">hello</text>");
+  Alcotest.(check bool) "closed" true (contains out "</svg>")
+
+let test_svg_escaping () =
+  let svg = Svg.create ~width:10. ~height:10. in
+  Svg.text svg ~x:0. ~y:0. "a<b&c>d\"e";
+  let out = Svg.to_string svg in
+  Alcotest.(check bool) "escaped" true
+    (contains out "a&lt;b&amp;c&gt;d&quot;e")
+
+let test_svg_element_order () =
+  let svg = Svg.create ~width:10. ~height:10. in
+  Svg.text svg ~x:0. ~y:0. "first";
+  Svg.text svg ~x:0. ~y:0. "second";
+  let out = Svg.to_string svg in
+  let idx needle =
+    let nl = String.length needle in
+    let rec go i =
+      if i + nl > String.length out then -1
+      else if String.sub out i nl = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "insertion order preserved" true
+    (idx "first" < idx "second")
+
+let test_svg_save () =
+  let svg = Svg.create ~width:10. ~height:10. in
+  Svg.rect svg ~x:0. ~y:0. ~w:1. ~h:1. ~fill:"green" ();
+  let path = Filename.temp_file "rats" ".svg" in
+  Svg.save svg path;
+  let ok = Sys.file_exists path in
+  Sys.remove path;
+  Alcotest.(check bool) "file written" true ok
+
+let gantt_fixture () =
+  let dag = Suite.generate { Suite.spec = Suite.Strassen; sample = 0 } in
+  let problem = Core.Problem.make ~dag ~cluster:Rats_platform.Cluster.chti in
+  let schedule =
+    Core.Rats.schedule problem (Core.Rats.Timecost Core.Rats.naive_timecost)
+  in
+  (schedule, Core.Evaluate.run schedule)
+
+let test_gantt_renders () =
+  let schedule, result = gantt_fixture () in
+  let out = Svg.to_string (Gantt.render schedule result ~title:"strassen") in
+  Alcotest.(check bool) "has title" true (contains out "strassen");
+  Alcotest.(check bool) "has processor label" true (contains out ">p0</text>");
+  Alcotest.(check bool) "draws boxes" true (contains out "<rect");
+  (* Every non-virtual task paints at least one box per processor: count
+     rect occurrences as a sanity lower bound. *)
+  let rects = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '<' && i + 5 <= String.length out && String.sub out i 5 = "<rect"
+      then incr rects)
+    out;
+  let min_boxes =
+    Array.fold_left
+      (fun acc e ->
+        if Core.Problem.is_virtual (Core.Schedule.problem schedule)
+             e.Core.Schedule.task
+        then acc
+        else acc + Rats_util.Procset.size e.Core.Schedule.procs)
+      0
+      (Core.Schedule.entries schedule)
+  in
+  Alcotest.(check bool) "one box per task-processor" true (!rects >= min_boxes)
+
+let test_gantt_save () =
+  let schedule, result = gantt_fixture () in
+  let path = Filename.temp_file "rats_gantt" ".svg" in
+  Gantt.save schedule result ~title:"t" ~path;
+  let size = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  Alcotest.(check bool) "non-trivial file" true (size > 1000)
+
+let () =
+  Alcotest.run "rats_viz"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "structure" `Quick test_svg_structure;
+          Alcotest.test_case "escaping" `Quick test_svg_escaping;
+          Alcotest.test_case "element order" `Quick test_svg_element_order;
+          Alcotest.test_case "save" `Quick test_svg_save;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "renders" `Quick test_gantt_renders;
+          Alcotest.test_case "save" `Quick test_gantt_save;
+        ] );
+    ]

@@ -1,0 +1,29 @@
+# Convenience entry points; everything is plain dune underneath.
+#
+#   make build        compile everything
+#   make test         tier-1 verification (dune build && dune runtest)
+#   make bench-smoke  timed smoke-scale bench run, all cores, report in
+#                     BENCH_runtime.json
+#   make clean-cache  drop the on-disk result cache (bench_results/.cache)
+#   make clean        dune clean
+
+JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores)
+JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
+
+.PHONY: build test bench-smoke clean-cache clean
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Wall time per target (and in total) lands in BENCH_runtime.json.
+bench-smoke: build
+	RATS_SCALE=smoke dune exec bench/main.exe -- all $(JOBS_FLAG)
+
+clean-cache:
+	rm -rf bench_results/.cache
+
+clean:
+	dune clean

@@ -2,20 +2,33 @@
    evaluation (see DESIGN.md §3) and offers Bechamel micro-benchmarks of the
    computational kernels.
 
-   Usage: main.exe [table1|table2|table3|fig2|fig3|fig4|fig5|table4|fig6|
-                    fig7|table5|table6|micro|all]  (default: all)
+   Usage: main.exe [-j N|--jobs N] [table1|table2|table3|fig2|fig3|fig4|fig5|
+                    table4|fig6|fig7|table5|table6|micro|all]  (default: all)
 
-   RATS_SCALE=smoke (default, 149 configurations) or paper (the full 557). *)
+   RATS_SCALE=smoke (default, 149 configurations) or paper (the full 557).
+   RATS_JOBS / -j picks the pool size (default: all cores); RATS_CACHE=off
+   disables the on-disk result cache under bench_results/.cache. Every run
+   writes wall time, jobs and cache hit/miss counts per executed target to
+   BENCH_runtime.json. *)
 
 module Suite = Rats_daggen.Suite
 module Cluster = Rats_platform.Cluster
 module Core = Rats_core
 module Exp = Rats_exp
+module Pool = Rats_runtime.Pool
+module Cache = Rats_runtime.Cache
+module Report = Rats_runtime.Report
 
 let ppf = Format.std_formatter
 let scale = Suite.scale_of_env ()
 
 let scale_name = match scale with Suite.Smoke -> "smoke" | Suite.Paper -> "paper"
+
+(* Set from the command line before any target runs; the lazies below read
+   them at force time. *)
+let jobs = ref (Pool.default_jobs ())
+let cache = ref (Cache.of_env ())
+let report = ref (Report.create ~scale:scale_name ~jobs:1 ())
 
 let results_dir = "bench_results"
 
@@ -31,14 +44,33 @@ let timed label f =
   Format.fprintf ppf "(%s computed in %.1fs)@." label (Unix.gettimeofday () -. t0);
   r
 
+(* Wall time and cache-counter deltas of one executed bench target, recorded
+   for BENCH_runtime.json. *)
+let recorded label f =
+  let hits0, misses0 =
+    match !cache with Some c -> (Cache.hits c, Cache.misses c) | None -> (0, 0)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let hits1, misses1 =
+    match !cache with Some c -> (Cache.hits c, Cache.misses c) | None -> (0, 0)
+  in
+  Report.record !report ~label
+    ~wall_s:(Unix.gettimeofday () -. t0)
+    ~cache_hits:(hits1 - hits0) ~cache_misses:(misses1 - misses0);
+  r
+
 (* Expensive inputs shared between figures. *)
 let naive_grillon =
   lazy
     (timed "naive suite on grillon" (fun () ->
-         Exp.Runner.run_suite ~progress:true scale Cluster.grillon))
+         Exp.Runner.run_suite ~progress:true ~jobs:!jobs ?cache:!cache scale
+           Cluster.grillon))
 
 let table4_data =
-  lazy (timed "parameter tuning (Table IV)" (fun () -> Exp.Tuning.table4 scale))
+  lazy
+    (timed "parameter tuning (Table IV)" (fun () ->
+         Exp.Tuning.table4 ~jobs:!jobs ?cache:!cache scale))
 
 let tuned_per_cluster =
   lazy
@@ -46,7 +78,9 @@ let tuned_per_cluster =
          let table = Lazy.force table4_data in
          List.map
            (fun c ->
-             (c.Cluster.name, Exp.Figures.run_tuned_suite scale table c))
+             ( c.Cluster.name,
+               Exp.Figures.run_tuned_suite ~jobs:!jobs ?cache:!cache scale
+                 table c ))
            Cluster.presets))
 
 let tuned_grillon () = List.assoc "grillon" (Lazy.force tuned_per_cluster)
@@ -81,7 +115,8 @@ let run_fig4 () =
   let points =
     timed "delta sweep on FFT/grillon" (fun () ->
         let configs = Exp.Tuning.tuning_configs scale `Fft in
-        Exp.Tuning.sweep_delta (Exp.Tuning.prepare Cluster.grillon configs))
+        Exp.Tuning.sweep_delta_for ~jobs:!jobs ?cache:!cache Cluster.grillon
+          configs)
   in
   Exp.Figures.fig4 ppf points
 
@@ -90,7 +125,8 @@ let run_fig5 () =
   let points =
     timed "time-cost sweep on irregular/grillon" (fun () ->
         let configs = Exp.Tuning.tuning_configs scale `Irregular in
-        Exp.Tuning.sweep_timecost (Exp.Tuning.prepare Cluster.grillon configs))
+        Exp.Tuning.sweep_timecost_for ~jobs:!jobs ?cache:!cache Cluster.grillon
+          configs)
   in
   Exp.Figures.fig5 ppf points
 
@@ -121,7 +157,8 @@ let run_table6 () =
 
 let run_ablations () =
   section "Ablations";
-  timed "ablation studies" (fun () -> Exp.Ablation.print_all ppf scale)
+  timed "ablation studies" (fun () ->
+      Exp.Ablation.print_all ~jobs:!jobs ?cache:!cache ppf scale)
 
 let run_ccr () =
   section "CCR crossover (extension)";
@@ -131,7 +168,8 @@ let run_ccr () =
     List.filteri (fun i _ -> i mod 2 = 0) (Exp.Ablation.study_configs scale)
   in
   let points =
-    timed "CCR sweep" (fun () -> Exp.Ccr_sweep.run Cluster.grillon configs)
+    timed "CCR sweep" (fun () ->
+        Exp.Ccr_sweep.run ~jobs:!jobs ?cache:!cache Cluster.grillon configs)
   in
   Exp.Ccr_sweep.print ppf points
 
@@ -140,7 +178,8 @@ let run_autotune () =
   let configs = Exp.Ablation.study_configs scale in
   let rows =
     timed "selector study" (fun () ->
-        Exp.Autotune.selector_study Cluster.grillon configs)
+        Exp.Autotune.selector_study ~jobs:!jobs ?cache:!cache Cluster.grillon
+          configs)
   in
   Format.fprintf ppf
     "mean makespan relative to HCPA over %d configurations (grillon):@."
@@ -215,47 +254,82 @@ let run_micro () =
       Format.fprintf ppf "  %-28s %12.1f ns/run@." name ns)
     results
 
+let targets =
+  [
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("fig2", run_fig2);
+    ("fig3", run_fig3);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("table4", run_table4);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("table5", run_table5);
+    ("table6", run_table6);
+    ("ablations", run_ablations);
+    ("ccr", run_ccr);
+    ("autotune", run_autotune);
+    ("micro", run_micro);
+  ]
+
 let run_all () =
   Format.fprintf ppf "RATS benchmark harness — scale: %s (%d configurations)@."
     scale_name (Suite.n_configs scale);
-  run_table1 ();
-  run_table2 ();
-  run_table3 ();
-  run_fig2 ();
-  run_fig3 ();
-  run_fig4 ();
-  run_fig5 ();
-  run_table4 ();
-  run_fig6 ();
-  run_fig7 ();
-  run_table5 ();
-  run_table6 ();
-  run_ablations ();
-  run_ccr ();
-  run_autotune ();
-  run_micro ()
+  List.iter (fun (label, run) -> recorded label run) targets
+
+(* Minimal flag parsing: [-j N], [--jobs N], [--jobs=N] anywhere; the first
+   remaining argument is the target. *)
+let parse_argv () =
+  let cmd = ref None in
+  let bad what =
+    Format.eprintf "invalid jobs value %S@." what;
+    exit 2
+  in
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> jobs := n
+    | _ -> bad s
+  in
+  let rec go = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: v :: rest ->
+        set_jobs v;
+        go rest
+    | ("-j" | "--jobs") :: [] -> bad "<missing>"
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
+      ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        go rest
+    | arg :: rest ->
+        (match !cmd with
+        | None -> cmd := Some arg
+        | Some _ ->
+            Format.eprintf "unexpected argument %S@." arg;
+            exit 2);
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  Option.value !cmd ~default:"all"
 
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let cmd = parse_argv () in
+  report := Report.create ~scale:scale_name ~jobs:!jobs ();
   (match cmd with
-  | "table1" -> run_table1 ()
-  | "table2" -> run_table2 ()
-  | "table3" -> run_table3 ()
-  | "fig2" -> run_fig2 ()
-  | "fig3" -> run_fig3 ()
-  | "fig4" -> run_fig4 ()
-  | "fig5" -> run_fig5 ()
-  | "table4" -> run_table4 ()
-  | "fig6" -> run_fig6 ()
-  | "fig7" -> run_fig7 ()
-  | "table5" -> run_table5 ()
-  | "table6" -> run_table6 ()
-  | "ablations" -> run_ablations ()
-  | "ccr" -> run_ccr ()
-  | "autotune" -> run_autotune ()
-  | "micro" -> run_micro ()
   | "all" -> run_all ()
-  | other ->
-      Format.eprintf "unknown command %S@." other;
-      exit 2);
+  | cmd -> (
+      match List.assoc_opt cmd targets with
+      | Some run -> recorded cmd run
+      | None ->
+          Format.eprintf "unknown command %S@." cmd;
+          exit 2));
+  (match !cache with
+  | Some c ->
+      Format.fprintf ppf "@.cache: %d hits, %d misses (hit rate %.0f%%)@."
+        (Cache.hits c) (Cache.misses c)
+        (100. *. Cache.hit_rate c)
+  | None -> ());
+  Report.write !report "BENCH_runtime.json";
+  Format.fprintf ppf "(runtime report: BENCH_runtime.json)@.";
   Format.pp_print_flush ppf ()

@@ -8,11 +8,15 @@ open Cmdliner
 module Suite = Rats_daggen.Suite
 module Exp = Rats_exp
 
-let run scale cluster mindelta maxdelta minrho packing csv =
+let run scale cluster mindelta maxdelta minrho packing csv jobs =
   let delta = { Rats_core.Rats.mindelta; maxdelta } in
   let timecost = { Rats_core.Rats.minrho; packing } in
+  let jobs =
+    if jobs >= 1 then jobs else Rats_runtime.Pool.default_jobs ()
+  in
   let results =
-    Exp.Runner.run_suite ~delta ~timecost ~progress:true scale cluster
+    Exp.Runner.run_suite ~delta ~timecost ~progress:true ~jobs
+      ?cache:(Rats_runtime.Cache.of_env ()) scale cluster
   in
   Exp.Figures.fig2 Format.std_formatter results;
   Exp.Figures.fig3 Format.std_formatter results;
@@ -48,11 +52,21 @@ let minrho_term =
 let packing_term =
   Arg.(value & opt bool true & info [ "packing" ] ~docv:"BOOL" ~doc:"Time-cost packing.")
 
+let jobs_term =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Pool workers for the suite run (default: $(b,RATS_JOBS) or all \
+           cores; 1 forces serial execution). Results are identical for \
+           every value.")
+
 let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the RATS evaluation suite")
     Term.(
       const run $ scale_term $ Common.cluster_term $ mindelta_term
-      $ maxdelta_term $ minrho_term $ packing_term $ csv_term)
+      $ maxdelta_term $ minrho_term $ packing_term $ csv_term $ jobs_term)
 
 let () = exit (Cmd.eval cmd)

@@ -3,6 +3,8 @@ module Cluster = Rats_platform.Cluster
 module Topology = Rats_platform.Topology
 module Core = Rats_core
 module Stats = Rats_util.Stats
+module Pool = Rats_runtime.Pool
+module Cache = Rats_runtime.Cache
 
 type ratio_row = {
   label : string;
@@ -10,24 +12,69 @@ type ratio_row = {
   max_ratio : float;
 }
 
-let schedules_for cluster configs strategy =
-  List.map
+(* Study-level caching: each study's whole row set is one cache entry keyed
+   by study name, cluster signature and configuration set. Labels may
+   contain spaces, so rows serialize as tab-separated lines. *)
+let study_key study cluster configs =
+  Cache.key
+    ([ "ablation." ^ study; Cluster.signature cluster ]
+    @ List.map Suite.name configs)
+
+let encode_rows rows =
+  String.concat "\n"
+    (List.map
+       (fun r -> Printf.sprintf "%s\t%h\t%h" r.label r.mean_ratio r.max_ratio)
+       rows)
+
+let decode_rows payload =
+  let decode_row line =
+    match String.split_on_char '\t' line with
+    | [ label; mean; max ] -> (
+        try
+          Some
+            {
+              label;
+              mean_ratio = float_of_string mean;
+              max_ratio = float_of_string max;
+            }
+        with Failure _ -> None)
+    | _ -> None
+  in
+  let rows = List.map decode_row (String.split_on_char '\n' payload) in
+  if List.for_all Option.is_some rows then
+    Some (List.filter_map Fun.id rows)
+  else None
+
+let cached_study ?cache ~study ~encode ~decode cluster configs compute =
+  match cache with
+  | None -> compute ()
+  | Some c -> (
+      let key = study_key study cluster configs in
+      match Option.bind (Cache.find c key) decode with
+      | Some v -> v
+      | None ->
+          let v = compute () in
+          Cache.store c key (encode v);
+          v)
+
+let schedules_for ?jobs cluster configs strategy =
+  Pool.map ?jobs
     (fun config ->
       let dag = Suite.generate config in
       let problem = Core.Problem.make ~dag ~cluster in
       Core.Rats.schedule problem strategy)
     configs
 
-let ratio_study cluster configs ~ablated ~full =
+let ratio_study ?jobs cluster configs ~ablated ~full =
   List.map
     (fun (label, strategy) ->
       let ratios =
-        List.map
+        Pool.map ?jobs
           (fun s ->
             let a = (ablated s : Core.Evaluate.result) in
             let f = (full s : Core.Evaluate.result) in
             a.Core.Evaluate.makespan /. f.Core.Evaluate.makespan)
-          (schedules_for cluster configs strategy)
+          (schedules_for ?jobs cluster configs strategy)
         |> Array.of_list
       in
       {
@@ -40,65 +87,98 @@ let ratio_study cluster configs ~ablated ~full =
       ("time-cost", Core.Rats.Timecost Core.Rats.naive_timecost);
     ]
 
-let placement_study cluster configs =
-  ratio_study cluster configs
-    ~ablated:(Core.Evaluate.run ~optimize_placement:false)
-    ~full:(Core.Evaluate.run ~optimize_placement:true)
+let placement_study ?jobs ?cache cluster configs =
+  cached_study ?cache ~study:"placement" ~encode:encode_rows
+    ~decode:decode_rows cluster configs (fun () ->
+      ratio_study ?jobs cluster configs
+        ~ablated:(Core.Evaluate.run ~optimize_placement:false)
+        ~full:(Core.Evaluate.run ~optimize_placement:true))
 
-let replay_study cluster configs =
-  ratio_study cluster configs
-    ~ablated:(Core.Evaluate.run ~work_conserving:false)
-    ~full:(Core.Evaluate.run ~work_conserving:true)
+let replay_study ?jobs ?cache cluster configs =
+  cached_study ?cache ~study:"replay" ~encode:encode_rows ~decode:decode_rows
+    cluster configs (fun () ->
+      ratio_study ?jobs cluster configs
+        ~ablated:(Core.Evaluate.run ~work_conserving:false)
+        ~full:(Core.Evaluate.run ~work_conserving:true))
 
 let window_values =
   [ 16. *. 1024.; 65536.; 262144.; 1048576.; 4. *. 1048576. ]
 
-let window_study configs =
+let window_study ?jobs ?cache configs =
   List.map
     (fun tcp_wmax ->
+      (* The window value is part of the cluster signature, so each window
+         point caches under its own key. *)
       let cluster =
         Cluster.make ~name:"grelon-like"
           ~topology:(Topology.Cabinets { cabinets = 5; per_cabinet = 24 })
           ~speed_gflops:3.185 ~tcp_wmax ()
       in
-      let makespans =
-        List.map
-          (fun s -> (Core.Evaluate.run s).Core.Evaluate.makespan)
-          (schedules_for cluster configs Core.Rats.Baseline)
-        |> Array.of_list
+      let mean =
+        cached_study ?cache ~study:"window"
+          ~encode:(Printf.sprintf "%h")
+          ~decode:(fun s ->
+            match float_of_string_opt s with Some v -> Some v | None -> None)
+          cluster configs
+          (fun () ->
+            Stats.mean
+              (Array.of_list
+                 (Pool.map ?jobs
+                    (fun s -> (Core.Evaluate.run s).Core.Evaluate.makespan)
+                    (schedules_for ?jobs cluster configs Core.Rats.Baseline))))
       in
-      (tcp_wmax, Stats.mean makespans))
+      (tcp_wmax, mean))
     window_values
 
-let purity_study cluster configs =
+let purity_rows ?jobs cluster configs =
   let problems =
-    List.map
-      (fun config ->
-        Core.Problem.make ~dag:(Suite.generate config) ~cluster)
+    Pool.map ?jobs
+      (fun config -> Core.Problem.make ~dag:(Suite.generate config) ~cluster)
       configs
   in
   let mean_of schedules =
     Stats.mean
       (Array.of_list
-         (List.map
+         (Pool.map ?jobs
             (fun s -> (Core.Evaluate.run s).Core.Evaluate.makespan)
             schedules))
   in
   let timecost =
     mean_of
-      (List.map
+      (Pool.map ?jobs
          (fun p -> Core.Rats.schedule p (Core.Rats.Timecost Core.Rats.naive_timecost))
          problems)
   in
   let rows =
     [
       ("time-cost RATS", timecost);
-      ("hcpa", mean_of (List.map (fun p -> Core.Rats.schedule p Core.Rats.Baseline) problems));
-      ("pure data-parallel", mean_of (List.map Core.Reference.data_parallel problems));
-      ("pure task-parallel", mean_of (List.map Core.Reference.task_parallel problems));
+      ("hcpa", mean_of (Pool.map ?jobs (fun p -> Core.Rats.schedule p Core.Rats.Baseline) problems));
+      ("pure data-parallel", mean_of (Pool.map ?jobs Core.Reference.data_parallel problems));
+      ("pure task-parallel", mean_of (Pool.map ?jobs Core.Reference.task_parallel problems));
     ]
   in
   List.map (fun (label, v) -> (label, v /. timecost)) rows
+
+let purity_study ?jobs ?cache cluster configs =
+  let encode rows =
+    String.concat "\n"
+      (List.map (fun (label, v) -> Printf.sprintf "%s\t%h" label v) rows)
+  in
+  let decode payload =
+    let row line =
+      match String.split_on_char '\t' line with
+      | [ label; v ] -> (
+          match float_of_string_opt v with
+          | Some v -> Some (label, v)
+          | None -> None)
+      | _ -> None
+    in
+    let rows = List.map row (String.split_on_char '\n' payload) in
+    if List.for_all Option.is_some rows then Some (List.filter_map Fun.id rows)
+    else None
+  in
+  cached_study ?cache ~study:"purity" ~encode ~decode cluster configs
+    (fun () -> purity_rows ?jobs cluster configs)
 
 (* A small, shape-diverse subset keeps the studies affordable. *)
 let study_configs scale =
@@ -109,7 +189,7 @@ let study_configs scale =
   if n <= cap then firsts
   else List.filteri (fun i _ -> i * cap / n <> (i - 1) * cap / n) firsts
 
-let print_all ppf scale =
+let print_all ?jobs ?cache ppf scale =
   let configs = study_configs scale in
   let cluster = Cluster.grillon in
   Format.fprintf ppf
@@ -121,23 +201,23 @@ let print_all ppf scale =
     (fun r ->
       Format.fprintf ppf "   %-12s mean x%.3f, worst x%.3f@." r.label
         r.mean_ratio r.max_ratio)
-    (placement_study cluster configs);
+    (placement_study ?jobs ?cache cluster configs);
   Format.fprintf ppf
     "@.2. Work-conserving replay (strict-order / work-conserving):@.";
   List.iter
     (fun r ->
       Format.fprintf ppf "   %-12s mean x%.3f, worst x%.3f@." r.label
         r.mean_ratio r.max_ratio)
-    (replay_study cluster configs);
+    (replay_study ?jobs ?cache cluster configs);
   Format.fprintf ppf
     "@.3. TCP window sensitivity (grelon-like hierarchical cluster):@.";
   List.iter
     (fun (wmax, makespan) ->
       Format.fprintf ppf "   Wmax=%8.0fKiB  mean makespan %10.2fs@."
         (wmax /. 1024.) makespan)
-    (window_study configs);
+    (window_study ?jobs ?cache configs);
   Format.fprintf ppf
     "@.4. Mixed parallelism vs pure corners (relative to time-cost RATS):@.";
   List.iter
     (fun (label, v) -> Format.fprintf ppf "   %-20s x%.3f@." label v)
-    (purity_study cluster configs)
+    (purity_study ?jobs ?cache cluster configs)

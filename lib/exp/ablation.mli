@@ -23,18 +23,30 @@ type ratio_row = {
 }
 
 val placement_study :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> ratio_row list
-(** One row per mapping strategy (HCPA baseline and time-cost RATS). *)
+(** One row per mapping strategy (HCPA baseline and time-cost RATS). All
+    studies execute on a {!Rats_runtime.Pool} of [jobs] workers and, when a
+    cache is supplied, persist their full row set as one
+    {!Rats_runtime.Cache} entry keyed by study name, cluster signature and
+    configuration set. *)
 
 val replay_study :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> ratio_row list
 
 val window_study :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
   Rats_daggen.Suite.config list -> (float * float) list
 (** [(tcp_wmax bytes, mean simulated makespan)] of HCPA schedules on a
     grelon-like hierarchical cluster, for windows from 16 KiB to 4 MiB. *)
 
 val purity_study :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list ->
   (string * float) list
 (** Mean simulated makespan of each strategy — time-cost RATS, HCPA, pure
@@ -46,5 +58,7 @@ val study_configs :
     studies run on. *)
 
 val print_all :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
   Format.formatter -> Rats_daggen.Suite.scale -> unit
 (** Runs all four studies on {!study_configs} and prints them. *)

@@ -96,7 +96,43 @@ let rules_timecost f =
     packing = true;
   }
 
-let selector_study cluster configs =
+(* The whole study is one cache entry: the rows depend only on the cluster,
+   the configuration set and the probe grids (shared with Tuning). *)
+let study_key cluster configs =
+  Rats_runtime.Cache.key
+    ([
+       "autotune.selector_study";
+       Rats_platform.Cluster.signature cluster;
+       String.concat ","
+         (List.map (fun v -> Printf.sprintf "%h" v) Tuning.mindelta_values);
+       String.concat ","
+         (List.map (fun v -> Printf.sprintf "%h" v) Tuning.maxdelta_values);
+       String.concat ","
+         (List.map (fun v -> Printf.sprintf "%h" v) Tuning.minrho_values);
+     ]
+    @ List.map Rats_daggen.Suite.name configs)
+
+let encode_rows rows =
+  String.concat "\n"
+    (List.map (fun (label, v) -> Printf.sprintf "%s\t%h" label v) rows)
+
+let decode_rows payload =
+  let rows =
+    List.map
+      (fun line ->
+        match String.index_opt line '\t' with
+        | Some i -> (
+            let label = String.sub line 0 i in
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            try Some (label, float_of_string v) with Failure _ -> None)
+        | None -> None)
+      (String.split_on_char '\n' payload)
+  in
+  if rows <> [] && List.for_all Option.is_some rows then
+    Some (List.filter_map Fun.id rows)
+  else None
+
+let compute_selector_study ?jobs cluster configs =
   let selectors =
     [
       ("naive delta", fun _ -> Core.Rats.Delta Core.Rats.naive_delta);
@@ -108,7 +144,7 @@ let selector_study cluster configs =
     ]
   in
   let prepared =
-    List.map
+    Rats_runtime.Pool.map ?jobs
       (fun config ->
         let dag = Rats_daggen.Suite.generate config in
         let problem = Core.Problem.make ~dag ~cluster in
@@ -122,7 +158,7 @@ let selector_study cluster configs =
   List.map
     (fun (name, select) ->
       let ratios =
-        List.map
+        Rats_runtime.Pool.map ?jobs
           (fun (problem, alloc, hcpa) ->
             let strategy = select problem in
             Core.Algorithms.makespan (Core.Algorithms.run ~alloc problem strategy)
@@ -132,3 +168,15 @@ let selector_study cluster configs =
       in
       (name, Rats_util.Stats.mean ratios))
     selectors
+
+let selector_study ?jobs ?cache cluster configs =
+  match cache with
+  | None -> compute_selector_study ?jobs cluster configs
+  | Some c -> (
+      let key = study_key cluster configs in
+      match Option.bind (Rats_runtime.Cache.find c key) decode_rows with
+      | Some rows -> rows
+      | None ->
+          let rows = compute_selector_study ?jobs cluster configs in
+          Rats_runtime.Cache.store c key (encode_rows rows);
+          rows)

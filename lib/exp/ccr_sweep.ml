@@ -1,8 +1,11 @@
 module Suite = Rats_daggen.Suite
+module Cluster = Rats_platform.Cluster
 module Dag = Rats_dag.Dag
 module Task = Rats_dag.Task
 module Core = Rats_core
 module Stats = Rats_util.Stats
+module Pool = Rats_runtime.Pool
+module Cache = Rats_runtime.Cache
 
 let flop_factors = [ 8.; 4.; 2.; 1.; 0.5; 0.25 ]
 
@@ -19,27 +22,57 @@ let scale_flop dag factor =
         ~data_elements:t.Task.data_elements ~flop:(factor *. t.Task.flop)
         ~alpha:t.Task.alpha)
 
-let run cluster configs =
-  let dags = List.map Suite.generate configs in
+let cell_key cluster config flop_factor =
+  Cache.key
+    [
+      "ccr_sweep.cell";
+      Cluster.signature cluster;
+      Suite.name config;
+      Printf.sprintf "%h" flop_factor;
+    ]
+
+let encode_cell (ccr, d, t) = Printf.sprintf "%h %h %h" ccr d t
+
+let decode_cell payload =
+  match String.split_on_char ' ' payload with
+  | [ a; b; c ] -> (
+      try Some (float_of_string a, float_of_string b, float_of_string c)
+      with Failure _ -> None)
+  | _ -> None
+
+let measure_cell cluster config flop_factor =
+  let dag = scale_flop (Suite.generate config) flop_factor in
+  let problem = Core.Problem.make ~dag ~cluster in
+  let alloc = Core.Hcpa.allocate problem in
+  let m strategy =
+    (Core.Algorithms.run ~alloc problem strategy).Core.Algorithms.simulated
+      .Core.Evaluate.makespan
+  in
+  let hcpa = m Core.Rats.Baseline in
+  let ccr = (Autotune.features problem).Autotune.ccr in
+  ( ccr,
+    m (Core.Rats.Delta Core.Rats.naive_delta) /. hcpa,
+    m (Core.Rats.Timecost Core.Rats.naive_timecost) /. hcpa )
+
+let cell ?cache cluster config flop_factor =
+  match cache with
+  | None -> measure_cell cluster config flop_factor
+  | Some c -> (
+      let key = cell_key cluster config flop_factor in
+      match Option.bind (Cache.find c key) decode_cell with
+      | Some v -> v
+      | None ->
+          let v = measure_cell cluster config flop_factor in
+          Cache.store c key (encode_cell v);
+          v)
+
+let run ?jobs ?cache cluster configs =
   List.map
     (fun flop_factor ->
       let measurements =
-        List.map
-          (fun dag ->
-            let dag = scale_flop dag flop_factor in
-            let problem = Core.Problem.make ~dag ~cluster in
-            let alloc = Core.Hcpa.allocate problem in
-            let m strategy =
-              (Core.Algorithms.run ~alloc problem strategy).Core.Algorithms
-                .simulated
-                .Core.Evaluate.makespan
-            in
-            let hcpa = m Core.Rats.Baseline in
-            let ccr = (Autotune.features problem).Autotune.ccr in
-            ( ccr,
-              m (Core.Rats.Delta Core.Rats.naive_delta) /. hcpa,
-              m (Core.Rats.Timecost Core.Rats.naive_timecost) /. hcpa ))
-          dags
+        Pool.map ?jobs
+          (fun config -> cell ?cache cluster config flop_factor)
+          configs
       in
       let col f = Stats.mean (Array.of_list (List.map f measurements)) in
       {

@@ -20,6 +20,11 @@ type point = {
 }
 
 val run :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> point list
+(** Parallel over configurations within each flop factor; with a cache, the
+    (ccr, delta, time-cost) triple of every (configuration, factor) cell is
+    cached individually. *)
 
 val print : Format.formatter -> point list -> unit

@@ -189,8 +189,8 @@ let table6 ppf per_cluster =
         (Metrics.degradation_from_best results))
     per_cluster
 
-let run_tuned_suite scale table cluster =
-  List.map
+let run_tuned_suite ?jobs ?cache scale table cluster =
+  Rats_runtime.Pool.map ?jobs
     (fun config ->
       let tuned =
         Tuning.tuned_for table ~cluster:cluster.Cluster.name
@@ -198,7 +198,7 @@ let run_tuned_suite scale table cluster =
       in
       Runner.run_config ~delta:tuned.Tuning.delta
         ~timecost:{ Core.Rats.minrho = tuned.Tuning.minrho; packing = true }
-        cluster config)
+        ?cache cluster config)
     (Suite.all scale)
 
 let write_csv path results =

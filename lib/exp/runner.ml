@@ -1,6 +1,9 @@
 module Suite = Rats_daggen.Suite
 module Cluster = Rats_platform.Cluster
 module Core = Rats_core
+module Pool = Rats_runtime.Pool
+module Cache = Rats_runtime.Cache
+module Progress = Rats_runtime.Progress
 
 type measurement = { makespan : float; work : float }
 
@@ -19,8 +22,44 @@ let strategy_measurement ?alloc problem strategy =
     work = Core.Algorithms.work outcome;
   }
 
-let run_config ?(delta = Core.Rats.naive_delta)
-    ?(timecost = Core.Rats.naive_timecost) cluster config =
+(* --- result cache ------------------------------------------------------- *)
+
+let cache_key ~cluster ~delta ~timecost config =
+  Cache.key
+    [
+      "runner.run_config";
+      Cluster.signature cluster;
+      Suite.name config;
+      Printf.sprintf "%h/%h" delta.Core.Rats.mindelta delta.Core.Rats.maxdelta;
+      Printf.sprintf "%h/%b" timecost.Core.Rats.minrho
+        timecost.Core.Rats.packing;
+    ]
+
+(* "%h" floats round-trip bit-exactly through [float_of_string], so cached
+   replays are indistinguishable from fresh computation. *)
+let encode_result r =
+  Printf.sprintf "%h %h %h %h %h %h" r.hcpa.makespan r.hcpa.work
+    r.delta.makespan r.delta.work r.timecost.makespan r.timecost.work
+
+let decode_result ~config ~cluster payload =
+  match String.split_on_char ' ' payload with
+  | [ a; b; c; d; e; f ] -> (
+      let fl = float_of_string in
+      try
+        Some
+          {
+            config;
+            cluster;
+            hcpa = { makespan = fl a; work = fl b };
+            delta = { makespan = fl c; work = fl d };
+            timecost = { makespan = fl e; work = fl f };
+          }
+      with Failure _ -> None)
+  | _ -> None
+
+(* --- execution ---------------------------------------------------------- *)
+
+let compute_config ~delta ~timecost cluster config =
   let dag = Suite.generate config in
   let problem = Core.Problem.make ~dag ~cluster in
   let alloc = Core.Hcpa.allocate problem in
@@ -32,13 +71,44 @@ let run_config ?(delta = Core.Rats.naive_delta)
     timecost = strategy_measurement ~alloc problem (Core.Rats.Timecost timecost);
   }
 
-let run_suite ?delta ?timecost ?(progress = false) scale cluster =
+(* Returns whether the result came from the cache, for hit-rate reporting. *)
+let run_config_cached ~delta ~timecost ~cache cluster config =
+  match cache with
+  | None -> (false, compute_config ~delta ~timecost cluster config)
+  | Some cache -> (
+      let key = cache_key ~cluster ~delta ~timecost config in
+      let cached =
+        Option.bind (Cache.find cache key)
+          (decode_result ~config ~cluster:cluster.Cluster.name)
+      in
+      match cached with
+      | Some r -> (true, r)
+      | None ->
+          let r = compute_config ~delta ~timecost cluster config in
+          Cache.store cache key (encode_result r);
+          (false, r))
+
+let run_config ?(delta = Core.Rats.naive_delta)
+    ?(timecost = Core.Rats.naive_timecost) ?cache cluster config =
+  snd (run_config_cached ~delta ~timecost ~cache cluster config)
+
+let run_suite ?(delta = Core.Rats.naive_delta)
+    ?(timecost = Core.Rats.naive_timecost) ?(progress = false) ?jobs ?cache
+    scale cluster =
   let configs = Suite.all scale in
-  let total = List.length configs in
-  List.mapi
-    (fun i config ->
-      if progress && i mod 25 = 0 then
-        Printf.eprintf "[%s] %d/%d %s\n%!" cluster.Cluster.name i total
-          (Suite.name config);
-      run_config ?delta ?timecost cluster config)
-    configs
+  let reporter =
+    Progress.create ~enabled:progress ~label:cluster.Cluster.name
+      ~total:(List.length configs) ()
+  in
+  let results =
+    Pool.map ?jobs
+      (fun config ->
+        let cache_hit, r =
+          run_config_cached ~delta ~timecost ~cache cluster config
+        in
+        Progress.step ~cache_hit reporter;
+        r)
+      configs
+  in
+  Progress.finish reporter;
+  results

@@ -3,7 +3,14 @@
     For each application configuration the three algorithms share the same
     HCPA allocation (RATS reconsiders it during mapping); every schedule is
     replayed in the simulation engine and measured by simulated makespan and
-    total work, the paper's two metrics. *)
+    total work, the paper's two metrics.
+
+    Suites execute through {!Rats_runtime.Pool} (deterministic ordering —
+    parallel output is identical to serial) and, when a cache is supplied,
+    through {!Rats_runtime.Cache}: per-configuration results are keyed by
+    (cluster signature, configuration name, algorithm parameters, code
+    version) and round-trip bit-exactly, so re-running a suite after an
+    unrelated change is near-instant. *)
 
 type measurement = { makespan : float; work : float }
 
@@ -18,6 +25,7 @@ type result = {
 val run_config :
   ?delta:Rats_core.Rats.delta_params ->
   ?timecost:Rats_core.Rats.timecost_params ->
+  ?cache:Rats_runtime.Cache.t ->
   Rats_platform.Cluster.t ->
   Rats_daggen.Suite.config ->
   result
@@ -28,11 +36,16 @@ val run_suite :
   ?delta:Rats_core.Rats.delta_params ->
   ?timecost:Rats_core.Rats.timecost_params ->
   ?progress:bool ->
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
   Rats_daggen.Suite.scale ->
   Rats_platform.Cluster.t ->
   result list
-(** Runs every configuration of the suite on the cluster. [progress] (default
-    false) reports advancement on stderr. *)
+(** Runs every configuration of the suite on the cluster, on
+    [jobs] pool workers (default {!Rats_runtime.Pool.default_jobs}; [1]
+    falls back to plain serial execution). The result list is in suite
+    order and identical for every [jobs] value. [progress] (default false)
+    reports throughput, ETA and cache-hit rate on stderr. *)
 
 val strategy_measurement :
   ?alloc:int array ->

@@ -2,6 +2,8 @@ module Suite = Rats_daggen.Suite
 module Cluster = Rats_platform.Cluster
 module Core = Rats_core
 module Stats = Rats_util.Stats
+module Pool = Rats_runtime.Pool
+module Cache = Rats_runtime.Cache
 
 let mindelta_values = [ 0.; -0.25; -0.5; -0.75 ]
 let maxdelta_values = [ 0.; 0.25; 0.5; 0.75; 1. ]
@@ -13,8 +15,8 @@ type prepared = {
   hcpa_makespan : float;
 }
 
-let prepare cluster configs =
-  List.map
+let prepare ?jobs cluster configs =
+  Pool.map ?jobs
     (fun config ->
       let dag = Suite.generate config in
       let problem = Core.Problem.make ~dag ~cluster in
@@ -55,19 +57,23 @@ type delta_point = {
   avg_relative_makespan : float;
 }
 
-let sweep_delta prepared =
-  List.concat_map
-    (fun mindelta ->
-      List.map
-        (fun maxdelta ->
-          let strategy = Core.Rats.Delta { mindelta; maxdelta } in
-          {
-            mindelta;
-            maxdelta;
-            avg_relative_makespan = average_relative prepared strategy;
-          })
-        maxdelta_values)
-    mindelta_values
+(* The sweeps parallelize over grid points — each point replays every
+   prepared configuration, so points are the coarsest independent unit. *)
+let sweep_delta ?jobs prepared =
+  let grid =
+    List.concat_map
+      (fun mindelta -> List.map (fun maxdelta -> (mindelta, maxdelta)) maxdelta_values)
+      mindelta_values
+  in
+  Pool.map ?jobs
+    (fun (mindelta, maxdelta) ->
+      let strategy = Core.Rats.Delta { mindelta; maxdelta } in
+      {
+        mindelta;
+        maxdelta;
+        avg_relative_makespan = average_relative prepared strategy;
+      })
+    grid
 
 type timecost_point = {
   packing : bool;
@@ -75,19 +81,92 @@ type timecost_point = {
   avg_relative_makespan : float;
 }
 
-let sweep_timecost prepared =
-  List.concat_map
-    (fun packing ->
-      List.map
-        (fun minrho ->
-          let strategy = Core.Rats.Timecost { minrho; packing } in
-          {
-            packing;
-            minrho;
-            avg_relative_makespan = average_relative prepared strategy;
-          })
-        minrho_values)
-    [ false; true ]
+let sweep_timecost ?jobs prepared =
+  let grid =
+    List.concat_map
+      (fun packing -> List.map (fun minrho -> (packing, minrho)) minrho_values)
+      [ false; true ]
+  in
+  Pool.map ?jobs
+    (fun (packing, minrho) ->
+      let strategy = Core.Rats.Timecost { minrho; packing } in
+      {
+        packing;
+        minrho;
+        avg_relative_makespan = average_relative prepared strategy;
+      })
+    grid
+
+(* Cached whole-sweep variants: the full point list of a (cluster,
+   configuration set) sweep is one cache entry, so a warm Figure 4/5
+   regeneration skips prepare and every grid replay. *)
+
+let sweep_key sweep cluster configs =
+  Cache.key
+    ([
+       "tuning." ^ sweep;
+       Cluster.signature cluster;
+       String.concat "," (List.map (fun v -> Printf.sprintf "%h" v) mindelta_values);
+       String.concat "," (List.map (fun v -> Printf.sprintf "%h" v) maxdelta_values);
+       String.concat "," (List.map (fun v -> Printf.sprintf "%h" v) minrho_values);
+     ]
+    @ List.map Suite.name configs)
+
+let cached_points ?cache ~sweep ~encode ~decode cluster configs compute =
+  match cache with
+  | None -> compute ()
+  | Some c -> (
+      let key = sweep_key sweep cluster configs in
+      let decode_all payload =
+        let points = List.map decode (String.split_on_char '\n' payload) in
+        if points <> [] && List.for_all Option.is_some points then
+          Some (List.filter_map Fun.id points)
+        else None
+      in
+      match Option.bind (Cache.find c key) decode_all with
+      | Some points -> points
+      | None ->
+          let points = compute () in
+          Cache.store c key (String.concat "\n" (List.map encode points));
+          points)
+
+let sweep_delta_for ?jobs ?cache cluster configs =
+  cached_points ?cache ~sweep:"sweep_delta"
+    ~encode:(fun (p : delta_point) ->
+      Printf.sprintf "%h %h %h" p.mindelta p.maxdelta p.avg_relative_makespan)
+    ~decode:(fun line ->
+      match String.split_on_char ' ' line with
+      | [ a; b; c ] -> (
+          try
+            Some
+              {
+                mindelta = float_of_string a;
+                maxdelta = float_of_string b;
+                avg_relative_makespan = float_of_string c;
+              }
+          with Failure _ -> None)
+      | _ -> None)
+    cluster configs
+    (fun () -> sweep_delta ?jobs (prepare ?jobs cluster configs))
+
+let sweep_timecost_for ?jobs ?cache cluster configs =
+  cached_points ?cache ~sweep:"sweep_timecost"
+    ~encode:(fun (p : timecost_point) ->
+      Printf.sprintf "%b %h %h" p.packing p.minrho p.avg_relative_makespan)
+    ~decode:(fun line ->
+      match String.split_on_char ' ' line with
+      | [ a; b; c ] -> (
+          try
+            Some
+              {
+                packing = bool_of_string a;
+                minrho = float_of_string b;
+                avg_relative_makespan = float_of_string c;
+              }
+          with Failure _ | Invalid_argument _ -> None)
+      | _ -> None)
+    cluster configs
+    (fun () -> sweep_timecost ?jobs (prepare ?jobs cluster configs))
 
 type tuned = { delta : Core.Rats.delta_params; minrho : float }
 
@@ -120,15 +199,64 @@ let best delta_points timecost_points =
 
 let kinds : Suite.app_kind list = [ `Fft; `Strassen; `Layered; `Irregular ]
 
-let table4 scale =
+(* One cache entry per (cluster, kind) cell of Table IV; a hit skips the
+   whole prepare + sweep pipeline for that cell. The key covers everything
+   the tuned values depend on: cluster, configuration set, and both grids. *)
+let tuned_key cluster kind configs =
+  Cache.key
+    ([
+       "tuning.table4";
+       Cluster.signature cluster;
+       Suite.kind_name kind;
+       String.concat "," (List.map (fun v -> Printf.sprintf "%h" v) mindelta_values);
+       String.concat "," (List.map (fun v -> Printf.sprintf "%h" v) maxdelta_values);
+       String.concat "," (List.map (fun v -> Printf.sprintf "%h" v) minrho_values);
+     ]
+    @ List.map Suite.name configs)
+
+let encode_tuned t =
+  Printf.sprintf "%h %h %h" t.delta.Core.Rats.mindelta
+    t.delta.Core.Rats.maxdelta t.minrho
+
+let decode_tuned payload =
+  match String.split_on_char ' ' payload with
+  | [ a; b; c ] -> (
+      try
+        Some
+          {
+            delta =
+              {
+                Core.Rats.mindelta = float_of_string a;
+                maxdelta = float_of_string b;
+              };
+            minrho = float_of_string c;
+          }
+      with Failure _ -> None)
+  | _ -> None
+
+let tune_cell ?jobs ?cache cluster kind configs =
+  let compute () =
+    let prepared = prepare ?jobs cluster configs in
+    best (sweep_delta ?jobs prepared) (sweep_timecost ?jobs prepared)
+  in
+  match cache with
+  | None -> compute ()
+  | Some cache -> (
+      let key = tuned_key cluster kind configs in
+      match Option.bind (Cache.find cache key) decode_tuned with
+      | Some tuned -> tuned
+      | None ->
+          let tuned = compute () in
+          Cache.store cache key (encode_tuned tuned);
+          tuned)
+
+let table4 ?jobs ?cache scale =
   List.map
     (fun cluster ->
       let per_kind =
         List.map
           (fun kind ->
-            let prepared = prepare cluster (tuning_configs scale kind) in
-            let tuned = best (sweep_delta prepared) (sweep_timecost prepared) in
-            (kind, tuned))
+            (kind, tune_cell ?jobs ?cache cluster kind (tuning_configs scale kind)))
           kinds
       in
       (cluster.Cluster.name, per_kind))

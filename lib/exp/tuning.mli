@@ -18,7 +18,10 @@ type prepared
 (** A configuration ready for sweeping (problem + allocation + baseline). *)
 
 val prepare :
+  ?jobs:int ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> prepared list
+(** DAG generation + HCPA allocation + baseline simulation per
+    configuration, on a {!Rats_runtime.Pool} of [jobs] workers. *)
 
 val average_relative : prepared list -> Rats_core.Rats.strategy -> float
 (** Mean over the prepared configurations of (strategy makespan / HCPA
@@ -42,8 +45,9 @@ type delta_point = {
   avg_relative_makespan : float;
 }
 
-val sweep_delta : prepared list -> delta_point list
-(** The full mindelta × maxdelta grid (Figure 4). *)
+val sweep_delta : ?jobs:int -> prepared list -> delta_point list
+(** The full mindelta × maxdelta grid (Figure 4), parallel over grid
+    points. *)
 
 type timecost_point = {
   packing : bool;
@@ -51,8 +55,23 @@ type timecost_point = {
   avg_relative_makespan : float;
 }
 
-val sweep_timecost : prepared list -> timecost_point list
-(** Both packing settings × every minrho (Figure 5). *)
+val sweep_timecost : ?jobs:int -> prepared list -> timecost_point list
+(** Both packing settings × every minrho (Figure 5), parallel over grid
+    points. *)
+
+val sweep_delta_for :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
+  Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> delta_point list
+(** [prepare] + {!sweep_delta}, with the whole point list as one cache
+    entry — a warm Figure 4 regeneration skips every replay. *)
+
+val sweep_timecost_for :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
+  Rats_platform.Cluster.t -> Rats_daggen.Suite.config list ->
+  timecost_point list
+(** [prepare] + {!sweep_timecost} as one cache entry (Figure 5). *)
 
 type tuned = { delta : Rats_core.Rats.delta_params; minrho : float }
 
@@ -61,10 +80,14 @@ val best : delta_point list -> timecost_point list -> tuned
     setting (the paper observes packing always helps). *)
 
 val table4 :
+  ?jobs:int ->
+  ?cache:Rats_runtime.Cache.t ->
   Rats_daggen.Suite.scale ->
   (string * (Rats_daggen.Suite.app_kind * tuned) list) list
 (** For every cluster, the tuned parameters per application kind — the
-    reproduction of Table IV. *)
+    reproduction of Table IV. With a cache, each (cluster, kind) cell is one
+    entry keyed by cluster signature, configuration set and sweep grids; a
+    hit skips that cell's prepare + sweep pipeline entirely. *)
 
 val tuned_for :
   (string * (Rats_daggen.Suite.app_kind * tuned) list) list ->

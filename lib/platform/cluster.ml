@@ -64,6 +64,17 @@ let grelon =
 
 let presets = [ chti; grillon; grelon ]
 
+let signature c =
+  let topo =
+    match c.topology with
+    | Topology.Flat n -> Printf.sprintf "flat:%d" n
+    | Topology.Cabinets { cabinets; per_cabinet } ->
+        Printf.sprintf "cab:%dx%d" cabinets per_cabinet
+  in
+  Printf.sprintf "%s|%s|%h|%h/%h|%h/%h|%h" c.name topo c.speed
+    c.node_link.Link.latency c.node_link.Link.bandwidth
+    c.uplink.Link.latency c.uplink.Link.bandwidth c.tcp_wmax
+
 let pp ppf c =
   Format.fprintf ppf "%s: %d procs x %.3f GFlop/s, %s" c.name (n_procs c)
     (c.speed /. Units.giga)

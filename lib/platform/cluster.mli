@@ -63,3 +63,9 @@ val presets : t list
 (** [chti; grillon; grelon] — the evaluation's three clusters. *)
 
 val pp : Format.formatter -> t -> unit
+
+val signature : t -> string
+(** Every field that influences simulation results, rendered exactly ([%h]
+    hex floats) — the cluster component of {!Rats_runtime.Cache} keys. Two
+    clusters with equal signatures produce identical schedules and
+    makespans for any given application. *)

@@ -1,0 +1,98 @@
+type t = { dir : string; hits : int Atomic.t; misses : int Atomic.t }
+
+let version = "rats-runtime-1"
+
+let default_dir = Filename.concat "bench_results" ".cache"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(dir = default_dir) () =
+  mkdir_p dir;
+  { dir; hits = Atomic.make 0; misses = Atomic.make 0 }
+
+let of_env () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "RATS_CACHE") with
+  | Some ("off" | "0" | "no" | "false") -> None
+  | _ ->
+      let dir =
+        Option.value (Sys.getenv_opt "RATS_CACHE_DIR") ~default:default_dir
+      in
+      Some (create ~dir ())
+
+(* Length-prefixing each part makes the encoding injective: ["ab"; "c"] and
+   ["a"; "bc"] hash differently. *)
+let key parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    (version :: parts);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let path t key = Filename.concat t.dir (key ^ ".cache")
+
+(* Entry layout: 32 hex chars (MD5 of the payload), '\n', payload. *)
+let read_entry file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      if len < 33 then None
+      else begin
+        let checksum = really_input_string ic 32 in
+        let sep = input_char ic in
+        let payload = really_input_string ic (len - 33) in
+        if sep = '\n' && Digest.to_hex (Digest.string payload) = checksum then
+          Some payload
+        else None
+      end)
+
+let find t key =
+  let file = path t key in
+  let entry =
+    if Sys.file_exists file then
+      match read_entry file with
+      | Some _ as e -> e
+      | None | (exception _) ->
+          (try Sys.remove file with Sys_error _ -> ());
+          None
+    else None
+  in
+  (match entry with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  entry
+
+let store t key payload =
+  try
+    mkdir_p t.dir;
+    let tmp, oc =
+      Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:t.dir
+        "entry" ".tmp"
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Digest.to_hex (Digest.string payload));
+        output_char oc '\n';
+        output_string oc payload);
+    Sys.rename tmp (path t key)
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+
+let hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let reset_counters t =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0

@@ -1,0 +1,58 @@
+(** Content-addressed on-disk result cache.
+
+    Entries are keyed by an MD5 of the inputs that determine a result —
+    suite configuration, cluster signature, algorithm parameters — plus
+    {!version}, a code-version salt bumped whenever the scheduling or
+    simulation semantics change, so stale results can never be replayed
+    across a semantic change. Values are opaque strings; callers serialize
+    (the experiment layer uses ["%h"] hex floats for bit-exact round-trips).
+
+    Writes are atomic (unique temp file in the cache directory + [rename]),
+    so a crashed or concurrent run can never expose a half-written entry.
+    Reads are corruption-tolerant: every entry embeds a checksum of its
+    payload, and any unreadable, truncated or tampered file is treated as a
+    miss and deleted. Hit/miss counters are atomics — safe to bump from
+    {!Pool} workers. *)
+
+type t
+
+val version : string
+(** Code-version salt mixed into every {!key}. Bump on any change that
+    invalidates previously cached results. *)
+
+val default_dir : string
+(** ["bench_results/.cache"]. *)
+
+val create : ?dir:string -> unit -> t
+(** Creates [dir] (and its parent) if needed. *)
+
+val of_env : unit -> t option
+(** [None] when [RATS_CACHE] is ["off"] / ["0"]; otherwise a cache in
+    [RATS_CACHE_DIR] (default {!default_dir}). *)
+
+val key : string list -> string
+(** Stable content hash of the given parts (order-sensitive, injective on
+    part lists, salted with {!version}). *)
+
+val find : t -> string -> string option
+(** Payload stored under the key, or [None] (counted as a miss) when absent
+    or corrupted; corrupted entries are removed. *)
+
+val store : t -> string -> string -> unit
+(** [store t key payload] atomically persists the entry. I/O errors are
+    swallowed — the cache is an accelerator, never a correctness
+    dependency. *)
+
+val path : t -> string -> string
+(** On-disk location of a key's entry (exposed for tests and tooling). *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val hit_rate : t -> float
+(** Hits over lookups, [0.] before the first lookup. *)
+
+val reset_counters : t -> unit
+(** Zeroes {!hits} and {!misses} — used to attribute counts per bench
+    target. *)

@@ -1,0 +1,74 @@
+let default_jobs () =
+  match Sys.getenv_opt "RATS_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* One contiguous shard of the index space per worker, drained through an
+   atomic cursor. [fetch_and_add] only ever moves cursors forward, so every
+   index is claimed exactly once even under concurrent stealing. *)
+type shard = { cursor : int Atomic.t; hi : int }
+
+let make_shards n jobs =
+  Array.init jobs (fun s ->
+      { cursor = Atomic.make (s * n / jobs); hi = (s + 1) * n / jobs })
+
+let rec steal shards =
+  let best = ref (-1) and best_remaining = ref 0 in
+  Array.iteri
+    (fun s shard ->
+      let remaining = shard.hi - Atomic.get shard.cursor in
+      if remaining > !best_remaining then begin
+        best := s;
+        best_remaining := remaining
+      end)
+    shards;
+  if !best < 0 then None
+  else
+    let shard = shards.(!best) in
+    let i = Atomic.fetch_and_add shard.cursor 1 in
+    if i < shard.hi then Some i else steal shards
+
+let take shards s =
+  let shard = shards.(s) in
+  let i = Atomic.fetch_and_add shard.cursor 1 in
+  if i < shard.hi then Some i else steal shards
+
+let map_array ?jobs f input =
+  let n = Array.length input in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = min jobs n in
+  if jobs <= 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let shards = make_shards n jobs in
+    let worker s () =
+      let rec loop () =
+        if Atomic.get error = None then
+          match take shards s with
+          | None -> ()
+          | Some i ->
+              (match f input.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  ignore (Atomic.compare_and_set error None (Some e)));
+              loop ()
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun s -> Domain.spawn (worker (s + 1))) in
+    worker 0 ();
+    Array.iter Domain.join domains;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))
+
+let mapi ?jobs f l =
+  let input = Array.of_list l in
+  Array.to_list (map_array ?jobs (fun (i, x) -> f i x)
+                   (Array.mapi (fun i x -> (i, x)) input))

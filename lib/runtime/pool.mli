@@ -1,0 +1,33 @@
+(** Domain-based worker pool with a sharded work queue.
+
+    The experiment corpus (557 configurations × 3 clusters, plus the tuning
+    grids) is an embarrassingly parallel workload; this pool executes it on
+    OCaml 5 domains while keeping the output {e bit-identical} to serial
+    execution: every task writes its result into its own slot of a
+    pre-allocated array, so the caller sees results in task-index order no
+    matter which domain ran which task, and no floating-point operation is
+    reordered within a task.
+
+    The queue is sharded: the index space is split into one contiguous shard
+    per worker, each drained through its own atomic cursor (no contention on
+    the common path); a worker whose shard is empty steals from the shard
+    with the most remaining work. With [jobs = 1] (or singleton/empty
+    inputs) no domain is spawned at all — the serial fallback is a plain
+    [map]. *)
+
+val default_jobs : unit -> int
+(** The [RATS_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f l] is observably [List.map f l] (same order, same values),
+    computed by [min jobs (length l)] domains. [jobs] defaults to
+    {!default_jobs}. If [f] raises on any element, one such exception is
+    re-raised in the caller after all workers have stopped. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Index-passing variant of {!map}. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array variant of {!map}. The input array must not be mutated during the
+    call. *)

@@ -1,0 +1,61 @@
+type t = {
+  label : string;
+  total : int;
+  enabled : bool;
+  mutex : Mutex.t;
+  start : float;
+  mutable completed : int;
+  mutable cache_hits : int;
+  mutable last_print : float;
+}
+
+let min_print_interval = 0.5
+
+let create ?(enabled = true) ~label ~total () =
+  let now = Unix.gettimeofday () in
+  {
+    label;
+    total;
+    enabled;
+    mutex = Mutex.create ();
+    start = now;
+    completed = 0;
+    cache_hits = 0;
+    last_print = now;
+  }
+
+let rate t now =
+  let dt = now -. t.start in
+  if dt <= 0. then 0. else float_of_int t.completed /. dt
+
+let print_line t now =
+  let r = rate t now in
+  let eta =
+    if r <= 0. then "?" else Printf.sprintf "%.0fs" (float_of_int (t.total - t.completed) /. r)
+  in
+  Printf.eprintf "[%s] %d/%d  %.1f cfg/s  eta %s  cache-hit %d%%\n%!" t.label
+    t.completed t.total r eta
+    (if t.completed = 0 then 0 else 100 * t.cache_hits / t.completed)
+
+let step ?(cache_hit = false) t =
+  if t.enabled then begin
+    Mutex.lock t.mutex;
+    t.completed <- t.completed + 1;
+    if cache_hit then t.cache_hits <- t.cache_hits + 1;
+    let now = Unix.gettimeofday () in
+    if now -. t.last_print >= min_print_interval then begin
+      t.last_print <- now;
+      print_line t now
+    end;
+    Mutex.unlock t.mutex
+  end
+
+let finish t =
+  if t.enabled then begin
+    Mutex.lock t.mutex;
+    let now = Unix.gettimeofday () in
+    Printf.eprintf "[%s] %d/%d done in %.1fs  (%.1f cfg/s, cache-hit %d%%)\n%!"
+      t.label t.completed t.total (now -. t.start) (rate t now)
+      (if t.completed = 0 then 0 else 100 * t.cache_hits / t.completed);
+    Mutex.unlock t.mutex
+  end

@@ -1,0 +1,20 @@
+(** Thread-safe progress and throughput reporting.
+
+    Replaces the ad-hoc stderr printing of the experiment runner: one
+    reporter is shared by every {!Pool} worker of a suite run, guarded by a
+    mutex, and rate-limited so parallel runs do not drown stderr. Reports
+    completed/total, configurations per second, an ETA extrapolated from
+    current throughput, and the cache-hit rate so far. *)
+
+type t
+
+val create : ?enabled:bool -> label:string -> total:int -> unit -> t
+(** [enabled] defaults to [true]; a disabled reporter turns {!step} and
+    {!finish} into no-ops so callers never branch. *)
+
+val step : ?cache_hit:bool -> t -> unit
+(** Record one completed task. Safe to call from any domain. Prints at most
+    every half second. *)
+
+val finish : t -> unit
+(** Print the summary line (total wall time, throughput, hit rate). *)

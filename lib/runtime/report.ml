@@ -1,0 +1,71 @@
+type entry = {
+  label : string;
+  wall_s : float;
+  jobs : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type t = { scale : string; jobs : int; mutable entries : entry list }
+
+let create ~scale ~jobs () = { scale; jobs; entries = [] }
+
+let record t ~label ~wall_s ~cache_hits ~cache_misses =
+  t.entries <-
+    { label; wall_s; jobs = t.jobs; cache_hits; cache_misses } :: t.entries
+
+let entries t = List.rev t.entries
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let write t path =
+  let entries = entries t in
+  let total_wall = List.fold_left (fun a e -> a +. e.wall_s) 0. entries in
+  let hits = List.fold_left (fun a e -> a + e.cache_hits) 0 entries in
+  let misses = List.fold_left (fun a e -> a + e.cache_misses) 0 entries in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scale\": %s,\n  \"jobs\": %d,\n" (json_string t.scale)
+       t.jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_wall_s\": %.3f,\n" total_wall);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f },\n"
+       hits misses
+       (if hits + misses = 0 then 0.
+        else float_of_int hits /. float_of_int (hits + misses)));
+  Buffer.add_string buf "  \"targets\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"label\": %s, \"wall_s\": %.3f, \"jobs\": %d, \
+            \"cache_hits\": %d, \"cache_misses\": %d }%s\n"
+           (json_string e.label) e.wall_s e.jobs e.cache_hits e.cache_misses
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:dir "report" ".tmp"
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp path

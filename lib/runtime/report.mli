@@ -1,0 +1,29 @@
+(** Machine-readable runtime report ([BENCH_runtime.json]).
+
+    The bench harness records one entry per executed target — wall time,
+    worker count, cache hits/misses attributed to that target — and writes a
+    single JSON document at exit, giving future changes a perf trajectory to
+    compare against. JSON is emitted by hand (flat schema, no dependency). *)
+
+type entry = {
+  label : string;
+  wall_s : float;
+  jobs : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type t
+
+val create : scale:string -> jobs:int -> unit -> t
+
+val record :
+  t -> label:string -> wall_s:float -> cache_hits:int -> cache_misses:int ->
+  unit
+(** Entries are reported in recording order. *)
+
+val entries : t -> entry list
+
+val write : t -> string -> unit
+(** Write the JSON document to the given path (atomically, via temp file +
+    rename in the same directory). *)

@@ -1,0 +1,164 @@
+(* Tests for rats_runtime: pool determinism, cache round-trip/keying/
+   corruption recovery, and the qcheck order-preservation property. *)
+
+module Suite = Rats_daggen.Suite
+module Cluster = Rats_platform.Cluster
+module Runner = Rats_exp.Runner
+module Pool = Rats_runtime.Pool
+module Cache = Rats_runtime.Cache
+
+let check = Alcotest.check
+
+(* A private cache directory per test run; tests must not touch the real
+   bench_results/.cache. *)
+let fresh_cache_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rats_cache_test_%d_%d" (Unix.getpid ()) !counter)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_cache f =
+  let dir = fresh_cache_dir () in
+  let cache = Cache.create ~dir () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f cache)
+
+(* --- pool ---------------------------------------------------------------- *)
+
+(* The acceptance bar of the subsystem: a 20-configuration suite prefix
+   yields the same result list — same order, bit-identical floats — for any
+   worker count. *)
+let test_pool_determinism () =
+  let configs = List.filteri (fun i _ -> i < 20) (Suite.all Suite.Smoke) in
+  let run jobs = Pool.map ~jobs (Runner.run_config Cluster.chti) configs in
+  let serial = run 1 in
+  List.iter
+    (fun jobs ->
+      let parallel = run jobs in
+      check Alcotest.int
+        (Printf.sprintf "length at jobs=%d" jobs)
+        (List.length serial) (List.length parallel);
+      List.iter2
+        (fun (a : Runner.result) (b : Runner.result) ->
+          check Alcotest.bool
+            (Printf.sprintf "identical result at jobs=%d for %s" jobs
+               (Suite.name a.Runner.config))
+            true (a = b))
+        serial parallel)
+    [ 2; 4; 7 ]
+
+let test_pool_exception () =
+  Alcotest.check_raises "exception propagates" Exit (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun i -> if i = 17 then raise Exit else i)
+           (List.init 40 Fun.id)))
+
+let test_pool_empty_and_mapi () =
+  check Alcotest.(list int) "empty input" [] (Pool.map ~jobs:4 succ []);
+  check
+    Alcotest.(list int)
+    "mapi indices" [ 10; 12; 14 ]
+    (Pool.mapi ~jobs:3 (fun i x -> i + x) [ 10; 11; 12 ])
+
+(* --- cache --------------------------------------------------------------- *)
+
+let test_cache_roundtrip () =
+  with_cache (fun cache ->
+      let key = Cache.key [ "test"; "roundtrip" ] in
+      check Alcotest.(option string) "miss before store" None
+        (Cache.find cache key);
+      Cache.store cache key "payload with\nnewline and \xff bytes";
+      check
+        Alcotest.(option string)
+        "hit after store"
+        (Some "payload with\nnewline and \xff bytes")
+        (Cache.find cache key);
+      check Alcotest.int "one hit" 1 (Cache.hits cache);
+      check Alcotest.int "one miss" 1 (Cache.misses cache))
+
+let test_cache_key_sensitivity () =
+  let base = [ "runner"; "cluster-sig"; "fft-k8-s0"; "0x1p-1" ] in
+  let k = Cache.key base in
+  List.iter
+    (fun (label, parts) ->
+      check Alcotest.bool label true (k <> Cache.key parts))
+    [
+      ("parameter change", [ "runner"; "cluster-sig"; "fft-k8-s0"; "0x1p-2" ]);
+      ("config change", [ "runner"; "cluster-sig"; "fft-k4-s0"; "0x1p-1" ]);
+      ("cluster change", [ "runner"; "other-sig"; "fft-k8-s0"; "0x1p-1" ]);
+      ("part-boundary shift", [ "runner"; "cluster-sigf"; "ft-k8-s0"; "0x1p-1" ]);
+    ]
+
+let test_cache_corruption_recovery () =
+  with_cache (fun cache ->
+      let key = Cache.key [ "test"; "corruption" ] in
+      Cache.store cache key "precious result";
+      let file = Cache.path cache key in
+      (* Tamper with the payload behind the checksum's back. *)
+      let oc = open_out_bin file in
+      output_string oc "garbage that is long enough to parse as an entry";
+      close_out oc;
+      check Alcotest.(option string) "corrupted entry is a miss" None
+        (Cache.find cache key);
+      check Alcotest.bool "corrupted entry deleted" false
+        (Sys.file_exists file);
+      (* The slot is usable again after recovery. *)
+      Cache.store cache key "recomputed";
+      check
+        Alcotest.(option string)
+        "recovered" (Some "recomputed") (Cache.find cache key))
+
+let test_cache_runner_integration () =
+  with_cache (fun cache ->
+      let config = { Suite.spec = Suite.Fft { k = 2 }; sample = 0 } in
+      let fresh = Runner.run_config Cluster.chti config in
+      let stored = Runner.run_config ~cache Cluster.chti config in
+      let replayed = Runner.run_config ~cache Cluster.chti config in
+      check Alcotest.bool "cached result identical" true (fresh = stored);
+      check Alcotest.bool "replayed result identical" true (fresh = replayed);
+      check Alcotest.int "second lookup hit" 1 (Cache.hits cache))
+
+(* --- qcheck -------------------------------------------------------------- *)
+
+let prop_pool_map_order =
+  QCheck.Test.make ~count:100 ~name:"Pool.map preserves order for arbitrary f"
+    QCheck.(
+      triple (fun1 Observable.int small_int) (small_list int) (int_range 1 8))
+    (fun (f, l, jobs) ->
+      Pool.map ~jobs (QCheck.Fn.apply f) l = List.map (QCheck.Fn.apply f) l)
+
+let () =
+  Alcotest.run "rats_runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "determinism vs serial (20-config suite)" `Slow
+            test_pool_determinism;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "empty input and mapi" `Quick
+            test_pool_empty_and_mapi;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round-trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "key sensitivity" `Quick
+            test_cache_key_sensitivity;
+          Alcotest.test_case "corrupted entry recovery" `Quick
+            test_cache_corruption_recovery;
+          Alcotest.test_case "runner integration" `Quick
+            test_cache_runner_integration;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_pool_map_order ] );
+    ]

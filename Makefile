@@ -1,16 +1,21 @@
 # Convenience entry points; everything is plain dune underneath.
 #
-#   make build        compile everything
-#   make test         tier-1 verification (dune build && dune runtest)
-#   make bench-smoke  timed smoke-scale bench run, all cores, report in
-#                     BENCH_runtime.json
-#   make clean-cache  drop the on-disk result cache (bench_results/.cache)
-#   make clean        dune clean
+#   make build              compile everything
+#   make test               tier-1 verification (dune build && dune runtest)
+#   make test-fault         fault-tolerance suite only (injection, retry,
+#                           journal, resume)
+#   make bench-smoke        timed smoke-scale bench run, all cores, report in
+#                           BENCH_runtime.json
+#   make bench-resume-smoke kill a cold fig2 run mid-sweep, then resume it —
+#                           the smoke test of crash-resumable sweeps
+#   make clean-cache        drop the on-disk result cache and journal
+#                           (bench_results/.cache, bench_results/.journal)
+#   make clean              dune clean
 
-JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores)
+JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
-.PHONY: build test bench-smoke clean-cache clean
+.PHONY: build test test-fault bench-smoke bench-resume-smoke clean-cache clean
 
 build:
 	dune build
@@ -18,12 +23,26 @@ build:
 test: build
 	dune runtest
 
+test-fault: build
+	dune exec test/test_fault.exe
+
 # Wall time per target (and in total) lands in BENCH_runtime.json.
 bench-smoke: build
 	RATS_SCALE=smoke dune exec bench/main.exe -- all $(JOBS_FLAG)
 
+# Crash-resume acceptance: start fig2 cold (cache off so the journal is the
+# only persistence), SIGKILL it mid-sweep, then resume. The resumed run must
+# replay the journaled prefix and only execute the missing configurations.
+bench-resume-smoke: build
+	rm -rf bench_results/.journal
+	-RATS_SCALE=smoke RATS_CACHE=off timeout -s KILL 10 \
+	  dune exec bench/main.exe -- fig2 $(JOBS_FLAG)
+	@echo "--- killed; resuming ---"
+	RATS_SCALE=smoke RATS_CACHE=off \
+	  dune exec bench/main.exe -- fig2 --resume $(JOBS_FLAG)
+
 clean-cache:
-	rm -rf bench_results/.cache
+	rm -rf bench_results/.cache bench_results/.journal
 
 clean:
 	dune clean

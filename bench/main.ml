@@ -2,13 +2,24 @@
    evaluation (see DESIGN.md §3) and offers Bechamel micro-benchmarks of the
    computational kernels.
 
-   Usage: main.exe [-j N|--jobs N] [table1|table2|table3|fig2|fig3|fig4|fig5|
-                    table4|fig6|fig7|table5|table6|micro|all]  (default: all)
+   Usage: main.exe [-j N|--jobs N] [--retries N] [--timeout S] [--resume]
+                   [--strict]
+                   [table1|table2|table3|fig2|fig3|fig4|fig5|table4|fig6|
+                    fig7|table5|table6|ablations|ccr|autotune|micro|all]
+   (default: all)
 
    RATS_SCALE=smoke (default, 149 configurations) or paper (the full 557).
    RATS_JOBS / -j picks the pool size (default: all cores); RATS_CACHE=off
-   disables the on-disk result cache under bench_results/.cache. Every run
-   writes wall time, jobs and cache hit/miss counts per executed target to
+   disables the on-disk result cache under bench_results/.cache;
+   RATS_FAULT injects deterministic faults (see Rats_runtime.Fault);
+   RATS_JOURNAL=off disables the write-ahead journal under
+   bench_results/.journal. A run killed mid-sweep is resumed with
+   [--resume]: journaled results are replayed bit-exactly and only the
+   missing work re-executes. Without [--resume] the journal of the previous
+   run is discarded. A configuration that keeps failing is reported (and
+   counted in BENCH_runtime.json) instead of aborting the run; [--strict]
+   restores fail-fast. Every run writes wall time, jobs, cache hit/miss and
+   failed/retried/resumed counts per executed target to
    BENCH_runtime.json. *)
 
 module Suite = Rats_daggen.Suite
@@ -17,6 +28,9 @@ module Core = Rats_core
 module Exp = Rats_exp
 module Pool = Rats_runtime.Pool
 module Cache = Rats_runtime.Cache
+module Exec = Rats_runtime.Exec
+module Journal = Rats_runtime.Journal
+module Retry = Rats_runtime.Retry
 module Report = Rats_runtime.Report
 
 let ppf = Format.std_formatter
@@ -26,8 +40,7 @@ let scale_name = match scale with Suite.Smoke -> "smoke" | Suite.Paper -> "paper
 
 (* Set from the command line before any target runs; the lazies below read
    them at force time. *)
-let jobs = ref (Pool.default_jobs ())
-let cache = ref (Cache.of_env ())
+let exec = ref (Exec.make ())
 let report = ref (Report.create ~scale:scale_name ~jobs:1 ())
 
 let results_dir = "bench_results"
@@ -44,33 +57,47 @@ let timed label f =
   Format.fprintf ppf "(%s computed in %.1fs)@." label (Unix.gettimeofday () -. t0);
   r
 
-(* Wall time and cache-counter deltas of one executed bench target, recorded
-   for BENCH_runtime.json. *)
+(* Wall time, cache and fault-counter deltas of one executed bench target,
+   recorded for BENCH_runtime.json. *)
 let recorded label f =
-  let hits0, misses0 =
-    match !cache with Some c -> (Cache.hits c, Cache.misses c) | None -> (0, 0)
+  let cache_counters () =
+    match !exec.Exec.cache with
+    | Some c -> (Cache.hits c, Cache.misses c)
+    | None -> (0, 0)
   in
+  let stat_counters () =
+    let s = !exec.Exec.stats in
+    Atomic.(get s.Exec.failed, get s.Exec.retried, get s.Exec.resumed)
+  in
+  let hits0, misses0 = cache_counters () in
+  let failed0, retried0, resumed0 = stat_counters () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  let hits1, misses1 =
-    match !cache with Some c -> (Cache.hits c, Cache.misses c) | None -> (0, 0)
-  in
+  let hits1, misses1 = cache_counters () in
+  let failed1, retried1, resumed1 = stat_counters () in
   Report.record !report ~label
     ~wall_s:(Unix.gettimeofday () -. t0)
-    ~cache_hits:(hits1 - hits0) ~cache_misses:(misses1 - misses0);
+    ~cache_hits:(hits1 - hits0) ~cache_misses:(misses1 - misses0)
+    ~failed:(failed1 - failed0) ~retried:(retried1 - retried0)
+    ~resumed:(resumed1 - resumed0) ();
   r
+
+let sweep_results sweep =
+  Exp.Runner.pp_failures Format.err_formatter sweep;
+  sweep.Exp.Runner.results
 
 (* Expensive inputs shared between figures. *)
 let naive_grillon =
   lazy
     (timed "naive suite on grillon" (fun () ->
-         Exp.Runner.run_suite ~progress:true ~jobs:!jobs ?cache:!cache scale
-           Cluster.grillon))
+         sweep_results
+           (Exp.Runner.run_sweep ~progress:true ~exec:!exec scale
+              Cluster.grillon)))
 
 let table4_data =
   lazy
     (timed "parameter tuning (Table IV)" (fun () ->
-         Exp.Tuning.table4 ~jobs:!jobs ?cache:!cache scale))
+         Exp.Tuning.table4 ~exec:!exec scale))
 
 let tuned_per_cluster =
   lazy
@@ -78,9 +105,7 @@ let tuned_per_cluster =
          let table = Lazy.force table4_data in
          List.map
            (fun c ->
-             ( c.Cluster.name,
-               Exp.Figures.run_tuned_suite ~jobs:!jobs ?cache:!cache scale
-                 table c ))
+             (c.Cluster.name, Exp.Figures.run_tuned_suite ~exec:!exec scale table c))
            Cluster.presets))
 
 let tuned_grillon () = List.assoc "grillon" (Lazy.force tuned_per_cluster)
@@ -115,8 +140,7 @@ let run_fig4 () =
   let points =
     timed "delta sweep on FFT/grillon" (fun () ->
         let configs = Exp.Tuning.tuning_configs scale `Fft in
-        Exp.Tuning.sweep_delta_for ~jobs:!jobs ?cache:!cache Cluster.grillon
-          configs)
+        Exp.Tuning.sweep_delta_for ~exec:!exec Cluster.grillon configs)
   in
   Exp.Figures.fig4 ppf points
 
@@ -125,8 +149,7 @@ let run_fig5 () =
   let points =
     timed "time-cost sweep on irregular/grillon" (fun () ->
         let configs = Exp.Tuning.tuning_configs scale `Irregular in
-        Exp.Tuning.sweep_timecost_for ~jobs:!jobs ?cache:!cache Cluster.grillon
-          configs)
+        Exp.Tuning.sweep_timecost_for ~exec:!exec Cluster.grillon configs)
   in
   Exp.Figures.fig5 ppf points
 
@@ -158,7 +181,7 @@ let run_table6 () =
 let run_ablations () =
   section "Ablations";
   timed "ablation studies" (fun () ->
-      Exp.Ablation.print_all ~jobs:!jobs ?cache:!cache ppf scale)
+      Exp.Ablation.print_all ~exec:!exec ppf scale)
 
 let run_ccr () =
   section "CCR crossover (extension)";
@@ -169,7 +192,7 @@ let run_ccr () =
   in
   let points =
     timed "CCR sweep" (fun () ->
-        Exp.Ccr_sweep.run ~jobs:!jobs ?cache:!cache Cluster.grillon configs)
+        Exp.Ccr_sweep.run ~exec:!exec Cluster.grillon configs)
   in
   Exp.Ccr_sweep.print ppf points
 
@@ -178,8 +201,7 @@ let run_autotune () =
   let configs = Exp.Ablation.study_configs scale in
   let rows =
     timed "selector study" (fun () ->
-        Exp.Autotune.selector_study ~jobs:!jobs ?cache:!cache Cluster.grillon
-          configs)
+        Exp.Autotune.selector_study ~exec:!exec Cluster.grillon configs)
   in
   Format.fprintf ppf
     "mean makespan relative to HCPA over %d configurations (grillon):@."
@@ -279,43 +301,119 @@ let run_all () =
     scale_name (Suite.n_configs scale);
   List.iter (fun (label, run) -> recorded label run) targets
 
-(* Minimal flag parsing: [-j N], [--jobs N], [--jobs=N] anywhere; the first
-   remaining argument is the target. *)
+(* Minimal flag parsing: [-j N], [--jobs N], [--jobs=N], [--retries N],
+   [--timeout S], [--resume], [--strict] anywhere; the first remaining
+   argument is the target. *)
+type options = {
+  mutable jobs : int;
+  mutable retries : int;
+  mutable timeout_s : float option;
+  mutable resume : bool;
+  mutable strict : bool;
+}
+
 let parse_argv () =
+  let opts =
+    {
+      jobs = Pool.default_jobs ();
+      retries = 0;
+      timeout_s = None;
+      resume = false;
+      strict = false;
+    }
+  in
   let cmd = ref None in
-  let bad what =
-    Format.eprintf "invalid jobs value %S@." what;
+  let bad flag what =
+    Format.eprintf "invalid %s value %S@." flag what;
     exit 2
   in
   let set_jobs s =
     match int_of_string_opt s with
-    | Some n when n >= 1 -> jobs := n
-    | _ -> bad s
+    | Some n when n >= 1 -> opts.jobs <- n
+    | _ -> bad "jobs" s
+  in
+  let set_retries s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> opts.retries <- n
+    | _ -> bad "retries" s
+  in
+  let set_timeout s =
+    match float_of_string_opt s with
+    | Some t when t > 0. -> opts.timeout_s <- Some t
+    | _ -> bad "timeout" s
+  in
+  let prefixed ~prefix arg =
+    let n = String.length prefix in
+    if String.length arg > n && String.sub arg 0 n = prefix then
+      Some (String.sub arg n (String.length arg - n))
+    else None
   in
   let rec go = function
     | [] -> ()
     | ("-j" | "--jobs") :: v :: rest ->
         set_jobs v;
         go rest
-    | ("-j" | "--jobs") :: [] -> bad "<missing>"
-    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
-      ->
-        set_jobs (String.sub arg 7 (String.length arg - 7));
+    | "--retries" :: v :: rest ->
+        set_retries v;
         go rest
-    | arg :: rest ->
-        (match !cmd with
-        | None -> cmd := Some arg
-        | Some _ ->
-            Format.eprintf "unexpected argument %S@." arg;
-            exit 2);
+    | "--timeout" :: v :: rest ->
+        set_timeout v;
         go rest
+    | [ ("-j" | "--jobs") ] -> bad "jobs" "<missing>"
+    | [ "--retries" ] -> bad "retries" "<missing>"
+    | [ "--timeout" ] -> bad "timeout" "<missing>"
+    | "--resume" :: rest ->
+        opts.resume <- true;
+        go rest
+    | "--strict" :: rest ->
+        opts.strict <- true;
+        go rest
+    | arg :: rest -> (
+        match
+          ( prefixed ~prefix:"--jobs=" arg,
+            prefixed ~prefix:"--retries=" arg,
+            prefixed ~prefix:"--timeout=" arg )
+        with
+        | Some v, _, _ ->
+            set_jobs v;
+            go rest
+        | _, Some v, _ ->
+            set_retries v;
+            go rest
+        | _, _, Some v ->
+            set_timeout v;
+            go rest
+        | None, None, None ->
+            (match !cmd with
+            | None -> cmd := Some arg
+            | Some _ ->
+                Format.eprintf "unexpected argument %S@." arg;
+                exit 2);
+            go rest)
   in
   go (List.tl (Array.to_list Sys.argv));
-  Option.value !cmd ~default:"all"
+  (opts, Option.value !cmd ~default:"all")
 
 let () =
-  let cmd = parse_argv () in
-  report := Report.create ~scale:scale_name ~jobs:!jobs ();
+  let opts, cmd = parse_argv () in
+  let journal =
+    match Sys.getenv_opt "RATS_JOURNAL" with
+    | Some "off" -> None
+    | _ ->
+        Some
+          (Journal.open_ ~name:("bench-" ^ scale_name) ~resume:opts.resume ())
+  in
+  let retry =
+    { Retry.default with retries = opts.retries; timeout_s = opts.timeout_s }
+  in
+  exec :=
+    Exec.of_env ~jobs:opts.jobs ~retry ~strict:opts.strict ?journal ();
+  (match journal with
+  | Some j when opts.resume ->
+      Format.fprintf ppf "(resuming: %d journaled results in %s)@."
+        (Journal.loaded j) (Journal.path j)
+  | _ -> ());
+  report := Report.create ~scale:scale_name ~jobs:opts.jobs ();
   (match cmd with
   | "all" -> run_all ()
   | cmd -> (
@@ -324,12 +422,25 @@ let () =
       | None ->
           Format.eprintf "unknown command %S@." cmd;
           exit 2));
-  (match !cache with
+  (match !exec.Exec.cache with
   | Some c ->
       Format.fprintf ppf "@.cache: %d hits, %d misses (hit rate %.0f%%)@."
         (Cache.hits c) (Cache.misses c)
-        (100. *. Cache.hit_rate c)
+        (100. *. Cache.hit_rate c);
+      let q = Cache.quarantined c in
+      if q > 0 then
+        Format.fprintf ppf "cache: %d corrupt entries quarantined under %s@." q
+          (Cache.quarantine_dir c)
   | None -> ());
+  let stats = !exec.Exec.stats in
+  let failed = Atomic.get stats.Exec.failed in
+  let retried = Atomic.get stats.Exec.retried in
+  let resumed = Atomic.get stats.Exec.resumed in
+  if failed > 0 || retried > 0 || resumed > 0 then
+    Format.fprintf ppf "faults: %d failed, %d retried, %d resumed@." failed
+      retried resumed;
+  Option.iter Journal.close journal;
   Report.write !report "BENCH_runtime.json";
   Format.fprintf ppf "(runtime report: BENCH_runtime.json)@.";
-  Format.pp_print_flush ppf ()
+  Format.pp_print_flush ppf ();
+  if failed > 0 then exit 1

@@ -5,6 +5,7 @@ module Core = Rats_core
 module Stats = Rats_util.Stats
 module Pool = Rats_runtime.Pool
 module Cache = Rats_runtime.Cache
+module Exec = Rats_runtime.Exec
 
 type ratio_row = {
   label : string;
@@ -45,36 +46,45 @@ let decode_rows payload =
     Some (List.filter_map Fun.id rows)
   else None
 
-let cached_study ?cache ~study ~encode ~decode cluster configs compute =
-  match cache with
+let cached_study ~exec ~study ~encode ~decode cluster configs compute =
+  match exec.Exec.cache with
   | None -> compute ()
   | Some c -> (
       let key = study_key study cluster configs in
       match Option.bind (Cache.find c key) decode with
       | Some v -> v
       | None ->
-          let v = compute () in
-          Cache.store c key (encode v);
+          (* Whole-study entries must not capture rows computed while
+             configurations were being dropped to faults. *)
+          let v, clean = Exec.computed_cleanly exec compute in
+          if clean then Cache.store c key (encode v);
           v)
 
-let schedules_for ?jobs cluster configs strategy =
-  Pool.map ?jobs
-    (fun config ->
+(* Per-configuration scheduling is the expensive, fault-prone unit; a
+   failed configuration drops out of the study averages and is counted in
+   [exec.stats]. The cheap re-measurements below stay on the plain pool. *)
+let schedules_for ~exec cluster configs strategy =
+  Exec.map exec
+    ~name:(fun c ->
+      "ablation.schedule/" ^ cluster.Cluster.name ^ "/" ^ Suite.name c)
+    ~f:(fun config ->
       let dag = Suite.generate config in
       let problem = Core.Problem.make ~dag ~cluster in
       Core.Rats.schedule problem strategy)
     configs
+  |> Exec.oks
 
-let ratio_study ?jobs cluster configs ~ablated ~full =
+let ratio_study ~exec cluster configs ~ablated ~full =
+  let jobs = exec.Exec.jobs in
   List.map
     (fun (label, strategy) ->
       let ratios =
-        Pool.map ?jobs
+        Pool.map ~jobs
           (fun s ->
             let a = (ablated s : Core.Evaluate.result) in
             let f = (full s : Core.Evaluate.result) in
             a.Core.Evaluate.makespan /. f.Core.Evaluate.makespan)
-          (schedules_for ?jobs cluster configs strategy)
+          (schedules_for ~exec cluster configs strategy)
         |> Array.of_list
       in
       {
@@ -87,24 +97,24 @@ let ratio_study ?jobs cluster configs ~ablated ~full =
       ("time-cost", Core.Rats.Timecost Core.Rats.naive_timecost);
     ]
 
-let placement_study ?jobs ?cache cluster configs =
-  cached_study ?cache ~study:"placement" ~encode:encode_rows
+let placement_study ?(exec = Exec.make ()) cluster configs =
+  cached_study ~exec ~study:"placement" ~encode:encode_rows
     ~decode:decode_rows cluster configs (fun () ->
-      ratio_study ?jobs cluster configs
+      ratio_study ~exec cluster configs
         ~ablated:(Core.Evaluate.run ~optimize_placement:false)
         ~full:(Core.Evaluate.run ~optimize_placement:true))
 
-let replay_study ?jobs ?cache cluster configs =
-  cached_study ?cache ~study:"replay" ~encode:encode_rows ~decode:decode_rows
+let replay_study ?(exec = Exec.make ()) cluster configs =
+  cached_study ~exec ~study:"replay" ~encode:encode_rows ~decode:decode_rows
     cluster configs (fun () ->
-      ratio_study ?jobs cluster configs
+      ratio_study ~exec cluster configs
         ~ablated:(Core.Evaluate.run ~work_conserving:false)
         ~full:(Core.Evaluate.run ~work_conserving:true))
 
 let window_values =
   [ 16. *. 1024.; 65536.; 262144.; 1048576.; 4. *. 1048576. ]
 
-let window_study ?jobs ?cache configs =
+let window_study ?(exec = Exec.make ()) configs =
   List.map
     (fun tcp_wmax ->
       (* The window value is part of the cluster signature, so each window
@@ -115,7 +125,7 @@ let window_study ?jobs ?cache configs =
           ~speed_gflops:3.185 ~tcp_wmax ()
       in
       let mean =
-        cached_study ?cache ~study:"window"
+        cached_study ~exec ~study:"window"
           ~encode:(Printf.sprintf "%h")
           ~decode:(fun s ->
             match float_of_string_opt s with Some v -> Some v | None -> None)
@@ -123,43 +133,47 @@ let window_study ?jobs ?cache configs =
           (fun () ->
             Stats.mean
               (Array.of_list
-                 (Pool.map ?jobs
+                 (Pool.map ~jobs:exec.Exec.jobs
                     (fun s -> (Core.Evaluate.run s).Core.Evaluate.makespan)
-                    (schedules_for ?jobs cluster configs Core.Rats.Baseline))))
+                    (schedules_for ~exec cluster configs Core.Rats.Baseline))))
       in
       (tcp_wmax, mean))
     window_values
 
-let purity_rows ?jobs cluster configs =
+let purity_rows ~exec cluster configs =
+  let jobs = exec.Exec.jobs in
   let problems =
-    Pool.map ?jobs
-      (fun config -> Core.Problem.make ~dag:(Suite.generate config) ~cluster)
+    Exec.map exec
+      ~name:(fun c ->
+        "ablation.problem/" ^ cluster.Cluster.name ^ "/" ^ Suite.name c)
+      ~f:(fun config -> Core.Problem.make ~dag:(Suite.generate config) ~cluster)
       configs
+    |> Exec.oks
   in
   let mean_of schedules =
     Stats.mean
       (Array.of_list
-         (Pool.map ?jobs
+         (Pool.map ~jobs
             (fun s -> (Core.Evaluate.run s).Core.Evaluate.makespan)
             schedules))
   in
   let timecost =
     mean_of
-      (Pool.map ?jobs
+      (Pool.map ~jobs
          (fun p -> Core.Rats.schedule p (Core.Rats.Timecost Core.Rats.naive_timecost))
          problems)
   in
   let rows =
     [
       ("time-cost RATS", timecost);
-      ("hcpa", mean_of (Pool.map ?jobs (fun p -> Core.Rats.schedule p Core.Rats.Baseline) problems));
-      ("pure data-parallel", mean_of (Pool.map ?jobs Core.Reference.data_parallel problems));
-      ("pure task-parallel", mean_of (Pool.map ?jobs Core.Reference.task_parallel problems));
+      ("hcpa", mean_of (Pool.map ~jobs (fun p -> Core.Rats.schedule p Core.Rats.Baseline) problems));
+      ("pure data-parallel", mean_of (Pool.map ~jobs Core.Reference.data_parallel problems));
+      ("pure task-parallel", mean_of (Pool.map ~jobs Core.Reference.task_parallel problems));
     ]
   in
   List.map (fun (label, v) -> (label, v /. timecost)) rows
 
-let purity_study ?jobs ?cache cluster configs =
+let purity_study ?(exec = Exec.make ()) cluster configs =
   let encode rows =
     String.concat "\n"
       (List.map (fun (label, v) -> Printf.sprintf "%s\t%h" label v) rows)
@@ -177,8 +191,8 @@ let purity_study ?jobs ?cache cluster configs =
     if List.for_all Option.is_some rows then Some (List.filter_map Fun.id rows)
     else None
   in
-  cached_study ?cache ~study:"purity" ~encode ~decode cluster configs
-    (fun () -> purity_rows ?jobs cluster configs)
+  cached_study ~exec ~study:"purity" ~encode ~decode cluster configs
+    (fun () -> purity_rows ~exec cluster configs)
 
 (* A small, shape-diverse subset keeps the studies affordable. *)
 let study_configs scale =
@@ -189,7 +203,7 @@ let study_configs scale =
   if n <= cap then firsts
   else List.filteri (fun i _ -> i * cap / n <> (i - 1) * cap / n) firsts
 
-let print_all ?jobs ?cache ppf scale =
+let print_all ?exec ppf scale =
   let configs = study_configs scale in
   let cluster = Cluster.grillon in
   Format.fprintf ppf
@@ -201,23 +215,23 @@ let print_all ?jobs ?cache ppf scale =
     (fun r ->
       Format.fprintf ppf "   %-12s mean x%.3f, worst x%.3f@." r.label
         r.mean_ratio r.max_ratio)
-    (placement_study ?jobs ?cache cluster configs);
+    (placement_study ?exec cluster configs);
   Format.fprintf ppf
     "@.2. Work-conserving replay (strict-order / work-conserving):@.";
   List.iter
     (fun r ->
       Format.fprintf ppf "   %-12s mean x%.3f, worst x%.3f@." r.label
         r.mean_ratio r.max_ratio)
-    (replay_study ?jobs ?cache cluster configs);
+    (replay_study ?exec cluster configs);
   Format.fprintf ppf
     "@.3. TCP window sensitivity (grelon-like hierarchical cluster):@.";
   List.iter
     (fun (wmax, makespan) ->
       Format.fprintf ppf "   Wmax=%8.0fKiB  mean makespan %10.2fs@."
         (wmax /. 1024.) makespan)
-    (window_study ?jobs ?cache configs);
+    (window_study ?exec configs);
   Format.fprintf ppf
     "@.4. Mixed parallelism vs pure corners (relative to time-cost RATS):@.";
   List.iter
     (fun (label, v) -> Format.fprintf ppf "   %-20s x%.3f@." label v)
-    (purity_study ?jobs ?cache cluster configs)
+    (purity_study ?exec cluster configs)

@@ -14,7 +14,13 @@
       where 4-hop routes make the window bind first.
     - {b purity}: mixed parallelism versus its two degenerate corners —
       pure data parallelism and pure task parallelism (the motivation of
-      the paper's reference [1]). *)
+      the paper's reference [1]).
+
+    Studies run through an optional {!Rats_runtime.Exec} context (default:
+    serial, no cache, no faults). Under fault injection a configuration
+    that exhausts its retries drops out of the study averages (counted in
+    [exec.stats]); a study that lost any configuration is never stored as a
+    whole-study cache entry. *)
 
 type ratio_row = {
   label : string;
@@ -23,30 +29,25 @@ type ratio_row = {
 }
 
 val placement_study :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> ratio_row list
 (** One row per mapping strategy (HCPA baseline and time-cost RATS). All
-    studies execute on a {!Rats_runtime.Pool} of [jobs] workers and, when a
-    cache is supplied, persist their full row set as one
-    {!Rats_runtime.Cache} entry keyed by study name, cluster signature and
-    configuration set. *)
+    studies execute on the context's worker pool and, when it carries a
+    cache, persist their full row set as one {!Rats_runtime.Cache} entry
+    keyed by study name, cluster signature and configuration set. *)
 
 val replay_study :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> ratio_row list
 
 val window_study :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_daggen.Suite.config list -> (float * float) list
 (** [(tcp_wmax bytes, mean simulated makespan)] of HCPA schedules on a
     grelon-like hierarchical cluster, for windows from 16 KiB to 4 MiB. *)
 
 val purity_study :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list ->
   (string * float) list
 (** Mean simulated makespan of each strategy — time-cost RATS, HCPA, pure
@@ -58,7 +59,6 @@ val study_configs :
     studies run on. *)
 
 val print_all :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Format.formatter -> Rats_daggen.Suite.scale -> unit
 (** Runs all four studies on {!study_configs} and prints them. *)

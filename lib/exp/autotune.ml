@@ -132,7 +132,7 @@ let decode_rows payload =
     Some (List.filter_map Fun.id rows)
   else None
 
-let compute_selector_study ?jobs cluster configs =
+let compute_selector_study ~exec cluster configs =
   let selectors =
     [
       ("naive delta", fun _ -> Core.Rats.Delta Core.Rats.naive_delta);
@@ -143,9 +143,16 @@ let compute_selector_study ?jobs cluster configs =
         fun p -> Core.Rats.Timecost (rules_timecost (features p)) );
     ]
   in
+  let module Exec = Rats_runtime.Exec in
+  (* A configuration whose baseline fails drops out of every selector's
+     average (counted in [exec.stats]); the per-selector replays below are
+     cheap and stay on the plain pool. *)
   let prepared =
-    Rats_runtime.Pool.map ?jobs
-      (fun config ->
+    Exec.map exec
+      ~name:(fun c ->
+        "autotune.prepare/" ^ cluster.Rats_platform.Cluster.name ^ "/"
+        ^ Rats_daggen.Suite.name c)
+      ~f:(fun config ->
         let dag = Rats_daggen.Suite.generate config in
         let problem = Core.Problem.make ~dag ~cluster in
         let alloc = Core.Hcpa.allocate problem in
@@ -154,11 +161,12 @@ let compute_selector_study ?jobs cluster configs =
         in
         (problem, alloc, hcpa))
       configs
+    |> Exec.oks
   in
   List.map
     (fun (name, select) ->
       let ratios =
-        Rats_runtime.Pool.map ?jobs
+        Rats_runtime.Pool.map ~jobs:exec.Exec.jobs
           (fun (problem, alloc, hcpa) ->
             let strategy = select problem in
             Core.Algorithms.makespan (Core.Algorithms.run ~alloc problem strategy)
@@ -169,14 +177,17 @@ let compute_selector_study ?jobs cluster configs =
       (name, Rats_util.Stats.mean ratios))
     selectors
 
-let selector_study ?jobs ?cache cluster configs =
-  match cache with
-  | None -> compute_selector_study ?jobs cluster configs
+let selector_study ?(exec = Rats_runtime.Exec.make ()) cluster configs =
+  match exec.Rats_runtime.Exec.cache with
+  | None -> compute_selector_study ~exec cluster configs
   | Some c -> (
       let key = study_key cluster configs in
       match Option.bind (Rats_runtime.Cache.find c key) decode_rows with
       | Some rows -> rows
       | None ->
-          let rows = compute_selector_study ?jobs cluster configs in
-          Rats_runtime.Cache.store c key (encode_rows rows);
+          let rows, clean =
+            Rats_runtime.Exec.computed_cleanly exec (fun () ->
+                compute_selector_study ~exec cluster configs)
+          in
+          if clean then Rats_runtime.Cache.store c key (encode_rows rows);
           rows)

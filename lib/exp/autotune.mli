@@ -42,12 +42,12 @@ val rules_delta : features -> Rats_core.Rats.delta_params
 val rules_timecost : features -> Rats_core.Rats.timecost_params
 
 val selector_study :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list ->
   (string * float) list
 (** Mean {e simulated} makespan relative to HCPA for each selector — naive
     delta, naive time-cost, probe, rules-delta, rules-time-cost — over the
     given configurations. The evaluation of the automatic tuners. With a
     cache the whole study is one entry, keyed by cluster signature,
-    configuration set and probe grids. *)
+    configuration set and probe grids; it is only stored when no
+    configuration was lost to an injected or real fault. *)

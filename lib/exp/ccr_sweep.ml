@@ -4,8 +4,8 @@ module Dag = Rats_dag.Dag
 module Task = Rats_dag.Task
 module Core = Rats_core
 module Stats = Rats_util.Stats
-module Pool = Rats_runtime.Pool
 module Cache = Rats_runtime.Cache
+module Exec = Rats_runtime.Exec
 
 let flop_factors = [ 8.; 4.; 2.; 1.; 0.5; 0.25 ]
 
@@ -54,33 +54,41 @@ let measure_cell cluster config flop_factor =
     m (Core.Rats.Delta Core.Rats.naive_delta) /. hcpa,
     m (Core.Rats.Timecost Core.Rats.naive_timecost) /. hcpa )
 
-let cell ?cache cluster config flop_factor =
-  match cache with
-  | None -> measure_cell cluster config flop_factor
-  | Some c -> (
-      let key = cell_key cluster config flop_factor in
-      match Option.bind (Cache.find c key) decode_cell with
-      | Some v -> v
-      | None ->
-          let v = measure_cell cluster config flop_factor in
-          Cache.store c key (encode_cell v);
-          v)
+(* Each (configuration, factor) cell goes through the full stack — cache,
+   journal, fault points, retries — so an interrupted sweep resumes at cell
+   granularity. *)
+let cell ~exec cluster config flop_factor =
+  Exec.keyed exec
+    ~name:
+      (Printf.sprintf "ccr/%s/%s@x%g" cluster.Cluster.name (Suite.name config)
+         flop_factor)
+    ~key:(cell_key cluster config flop_factor)
+    ~encode:encode_cell ~decode:decode_cell
+    (fun () -> measure_cell cluster config flop_factor)
 
-let run ?jobs ?cache cluster configs =
-  List.map
+let run ?(exec = Exec.make ()) cluster configs =
+  List.filter_map
     (fun flop_factor ->
-      let measurements =
-        Pool.map ?jobs
-          (fun config -> cell ?cache cluster config flop_factor)
+      let outcomes =
+        Exec.map_outcome exec
+          ~run:(fun config -> cell ~exec cluster config flop_factor)
           configs
       in
-      let col f = Stats.mean (Array.of_list (List.map f measurements)) in
-      {
-        flop_factor;
-        ccr = col (fun (c, _, _) -> c);
-        delta_relative = col (fun (_, d, _) -> d);
-        timecost_relative = col (fun (_, _, t) -> t);
-      })
+      let measurements =
+        List.filter_map (fun o -> Result.to_option o.Exec.value) outcomes
+      in
+      (* A factor whose cells all failed yields no point rather than NaN
+         columns; partially failed factors average the surviving cells. *)
+      if measurements = [] then None
+      else
+        let col f = Stats.mean (Array.of_list (List.map f measurements)) in
+        Some
+          {
+            flop_factor;
+            ccr = col (fun (c, _, _) -> c);
+            delta_relative = col (fun (_, d, _) -> d);
+            timecost_relative = col (fun (_, _, t) -> t);
+          })
     flop_factors
 
 let print ppf points =

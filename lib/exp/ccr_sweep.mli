@@ -20,11 +20,12 @@ type point = {
 }
 
 val run :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> point list
 (** Parallel over configurations within each flop factor; with a cache, the
     (ccr, delta, time-cost) triple of every (configuration, factor) cell is
-    cached individually. *)
+    cached — and journaled — individually, so an interrupted sweep resumes
+    at cell granularity. Failed cells drop out of their factor's averages;
+    a factor that lost every cell yields no point. *)
 
 val print : Format.formatter -> point list -> unit

@@ -189,17 +189,19 @@ let table6 ppf per_cluster =
         (Metrics.degradation_from_best results))
     per_cluster
 
-let run_tuned_suite ?jobs ?cache scale table cluster =
-  Rats_runtime.Pool.map ?jobs
-    (fun config ->
+let run_tuned_suite ?(exec = Rats_runtime.Exec.make ()) scale table cluster =
+  let module Exec = Rats_runtime.Exec in
+  Exec.map_outcome exec
+    ~run:(fun config ->
       let tuned =
         Tuning.tuned_for table ~cluster:cluster.Cluster.name
           ~kind:(Suite.kind config)
       in
-      Runner.run_config ~delta:tuned.Tuning.delta
+      Runner.run_config_outcome ~delta:tuned.Tuning.delta
         ~timecost:{ Core.Rats.minrho = tuned.Tuning.minrho; packing = true }
-        ?cache cluster config)
+        ~exec cluster config)
     (Suite.all scale)
+  |> List.filter_map (fun o -> Result.to_option o.Exec.value)
 
 let write_csv path results =
   let oc = open_out path in

@@ -46,15 +46,16 @@ val table6 : Format.formatter -> (string * Runner.result list) list -> unit
 (** Average degradation from best per cluster. *)
 
 val run_tuned_suite :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_daggen.Suite.scale ->
   (string * (Rats_daggen.Suite.app_kind * Tuning.tuned) list) list ->
   Rats_platform.Cluster.t ->
   Runner.result list
 (** Suite run where every configuration uses its application kind's tuned
-    parameters on that cluster (§IV-D). Pool- and cache-backed exactly like
-    {!Runner.run_suite}. *)
+    parameters on that cluster (§IV-D). Executes through the context
+    exactly like {!Runner.run_sweep} (cache, journal, fault points);
+    configurations that exhaust their retries are dropped from the result
+    list and counted in [exec.stats]. *)
 
 val write_csv : string -> Runner.result list -> unit
 (** Full per-configuration data (makespans and works of the three

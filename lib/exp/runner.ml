@@ -1,8 +1,9 @@
 module Suite = Rats_daggen.Suite
 module Cluster = Rats_platform.Cluster
 module Core = Rats_core
-module Pool = Rats_runtime.Pool
 module Cache = Rats_runtime.Cache
+module Exec = Rats_runtime.Exec
+module Retry = Rats_runtime.Retry
 module Progress = Rats_runtime.Progress
 
 type measurement = { makespan : float; work : float }
@@ -14,6 +15,14 @@ type result = {
   delta : measurement;
   timecost : measurement;
 }
+
+type failure = {
+  config : Suite.config;
+  cluster : string;
+  error : Retry.failure;
+}
+
+type sweep = { results : result list; failed : failure list; total : int }
 
 let strategy_measurement ?alloc problem strategy =
   let outcome = Core.Algorithms.run ?alloc problem strategy in
@@ -71,6 +80,22 @@ let compute_config ~delta ~timecost cluster config =
     timecost = strategy_measurement ~alloc problem (Core.Rats.Timecost timecost);
   }
 
+let task_name cluster config = cluster.Cluster.name ^ "/" ^ Suite.name config
+
+(* One configuration through the full fault-tolerance stack: cache lookup,
+   journal replay, fault points, retries and timeout. *)
+let run_config_exec ~delta ~timecost ~exec cluster config =
+  Exec.keyed exec
+    ~name:(task_name cluster config)
+    ~key:(cache_key ~cluster ~delta ~timecost config)
+    ~encode:encode_result
+    ~decode:(decode_result ~config ~cluster:cluster.Cluster.name)
+    (fun () -> compute_config ~delta ~timecost cluster config)
+
+let run_config_outcome ?(delta = Core.Rats.naive_delta)
+    ?(timecost = Core.Rats.naive_timecost) ~exec cluster config =
+  run_config_exec ~delta ~timecost ~exec cluster config
+
 (* Returns whether the result came from the cache, for hit-rate reporting. *)
 let run_config_cached ~delta ~timecost ~cache cluster config =
   match cache with
@@ -92,23 +117,49 @@ let run_config ?(delta = Core.Rats.naive_delta)
     ?(timecost = Core.Rats.naive_timecost) ?cache cluster config =
   snd (run_config_cached ~delta ~timecost ~cache cluster config)
 
-let run_suite ?(delta = Core.Rats.naive_delta)
-    ?(timecost = Core.Rats.naive_timecost) ?(progress = false) ?jobs ?cache
-    scale cluster =
+let run_sweep ?(delta = Core.Rats.naive_delta)
+    ?(timecost = Core.Rats.naive_timecost) ?(progress = false)
+    ?(exec = Exec.make ()) scale cluster =
   let configs = Suite.all scale in
   let reporter =
     Progress.create ~enabled:progress ~label:cluster.Cluster.name
       ~total:(List.length configs) ()
   in
-  let results =
-    Pool.map ?jobs
-      (fun config ->
-        let cache_hit, r =
-          run_config_cached ~delta ~timecost ~cache cluster config
-        in
-        Progress.step ~cache_hit reporter;
-        r)
+  let outcomes =
+    Exec.map_outcome exec
+      ~run:(fun config ->
+        let o = run_config_exec ~delta ~timecost ~exec cluster config in
+        Progress.step
+          ~cache_hit:(o.Exec.source = Exec.From_cache)
+          ~resumed:(o.Exec.source = Exec.From_journal)
+          ~failed:(Result.is_error o.Exec.value)
+          ~retries:(o.Exec.attempts - 1) reporter;
+        o)
       configs
   in
   Progress.finish reporter;
-  results
+  let results, failed =
+    List.fold_right2
+      (fun config o (rs, fs) ->
+        match o.Exec.value with
+        | Ok r -> (r :: rs, fs)
+        | Error error ->
+            (rs, { config; cluster = cluster.Cluster.name; error } :: fs))
+      configs outcomes ([], [])
+  in
+  { results; failed; total = List.length configs }
+
+let run_suite ?delta ?timecost ?progress ?exec scale cluster =
+  (run_sweep ?delta ?timecost ?progress ?exec scale cluster).results
+
+let pp_failures ppf sweep =
+  match sweep.failed with
+  | [] -> ()
+  | failed ->
+      Format.fprintf ppf "%d/%d configurations failed:@." (List.length failed)
+        sweep.total;
+      List.iter
+        (fun f ->
+          Format.fprintf ppf "  %s/%s: %s@." f.cluster (Suite.name f.config)
+            (Retry.failure_to_string f.error))
+        failed

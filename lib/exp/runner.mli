@@ -5,12 +5,19 @@
     replayed in the simulation engine and measured by simulated makespan and
     total work, the paper's two metrics.
 
-    Suites execute through {!Rats_runtime.Pool} (deterministic ordering —
-    parallel output is identical to serial) and, when a cache is supplied,
-    through {!Rats_runtime.Cache}: per-configuration results are keyed by
-    (cluster signature, configuration name, algorithm parameters, code
-    version) and round-trip bit-exactly, so re-running a suite after an
-    unrelated change is near-instant. *)
+    Suites execute through an {!Rats_runtime.Exec} context: deterministic
+    pool ordering (parallel output is identical to serial), a
+    content-addressed result cache, write-ahead journaling for
+    crash-resumable sweeps, and fault-tolerant task execution (bounded
+    retries, per-configuration timeout). Per-configuration results are
+    keyed by (cluster signature, configuration name, algorithm parameters,
+    code version) and round-trip bit-exactly, so re-running a suite after
+    an unrelated change is near-instant.
+
+    Failure contract: with a non-strict context a configuration that keeps
+    failing after its retries occupies a slot in {!sweep.failed} instead of
+    aborting the sweep; strict contexts fail fast with
+    {!Rats_runtime.Exec.Task_failed}. *)
 
 type measurement = { makespan : float; work : float }
 
@@ -22,6 +29,18 @@ type result = {
   timecost : measurement;
 }
 
+type failure = {
+  config : Rats_daggen.Suite.config;
+  cluster : string;
+  error : Rats_runtime.Retry.failure;
+}
+(** One configuration that exhausted its retries, with the structured
+    error (exception + backtrace + attempt count, or timeout). *)
+
+type sweep = { results : result list; failed : failure list; total : int }
+(** [results] is in suite order with failed configurations absent;
+    [List.length results + List.length failed = total]. *)
+
 val run_config :
   ?delta:Rats_core.Rats.delta_params ->
   ?timecost:Rats_core.Rats.timecost_params ->
@@ -30,22 +49,50 @@ val run_config :
   Rats_daggen.Suite.config ->
   result
 (** Parameters default to the paper's naive values (±0.5, ρ = 0.5 with
-    packing). *)
+    packing). The plain primitive: no fault points, no retries — an error
+    raises. *)
+
+val run_config_outcome :
+  ?delta:Rats_core.Rats.delta_params ->
+  ?timecost:Rats_core.Rats.timecost_params ->
+  exec:Rats_runtime.Exec.t ->
+  Rats_platform.Cluster.t ->
+  Rats_daggen.Suite.config ->
+  result Rats_runtime.Exec.outcome
+(** One configuration through the full fault-tolerance stack — cache
+    lookup, journal replay, fault points, retries, timeout — returning the
+    provenance-carrying outcome. The building block for custom sweeps
+    (e.g. {!Figures.run_tuned_suite}). *)
+
+val run_sweep :
+  ?delta:Rats_core.Rats.delta_params ->
+  ?timecost:Rats_core.Rats.timecost_params ->
+  ?progress:bool ->
+  ?exec:Rats_runtime.Exec.t ->
+  Rats_daggen.Suite.scale ->
+  Rats_platform.Cluster.t ->
+  sweep
+(** Runs every configuration of the suite on the cluster through [exec]
+    (default {!Rats_runtime.Exec.make}: no cache, no faults, no retries).
+    The result list is in suite order and identical for every worker
+    count. [progress] (default false) reports throughput, ETA, cache-hit
+    rate and failure counters on stderr. *)
 
 val run_suite :
   ?delta:Rats_core.Rats.delta_params ->
   ?timecost:Rats_core.Rats.timecost_params ->
   ?progress:bool ->
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_daggen.Suite.scale ->
   Rats_platform.Cluster.t ->
   result list
-(** Runs every configuration of the suite on the cluster, on
-    [jobs] pool workers (default {!Rats_runtime.Pool.default_jobs}; [1]
-    falls back to plain serial execution). The result list is in suite
-    order and identical for every [jobs] value. [progress] (default false)
-    reports throughput, ETA and cache-hit rate on stderr. *)
+(** [run_sweep] keeping only the successful results — the historical
+    entry point; callers that must account for failures use
+    {!run_sweep}. *)
+
+val pp_failures : Format.formatter -> sweep -> unit
+(** Prints one line per failed configuration (name + structured error);
+    prints nothing when the sweep fully succeeded. *)
 
 val strategy_measurement :
   ?alloc:int array ->

@@ -2,8 +2,8 @@ module Suite = Rats_daggen.Suite
 module Cluster = Rats_platform.Cluster
 module Core = Rats_core
 module Stats = Rats_util.Stats
-module Pool = Rats_runtime.Pool
 module Cache = Rats_runtime.Cache
+module Exec = Rats_runtime.Exec
 
 let mindelta_values = [ 0.; -0.25; -0.5; -0.75 ]
 let maxdelta_values = [ 0.; 0.25; 0.5; 0.75; 1. ]
@@ -15,9 +15,14 @@ type prepared = {
   hcpa_makespan : float;
 }
 
-let prepare ?jobs cluster configs =
-  Pool.map ?jobs
-    (fun config ->
+(* A failed unit drops out of the average (counted and reported through
+   [exec.stats], never silently): sweeps degrade gracefully instead of
+   losing hours of grid replays to one bad configuration. *)
+let prepare ?(exec = Exec.make ()) cluster configs =
+  Exec.map exec
+    ~name:(fun c ->
+      "tuning.prepare/" ^ cluster.Cluster.name ^ "/" ^ Suite.name c)
+    ~f:(fun config ->
       let dag = Suite.generate config in
       let problem = Core.Problem.make ~dag ~cluster in
       let alloc = Core.Hcpa.allocate problem in
@@ -26,6 +31,7 @@ let prepare ?jobs cluster configs =
       in
       { problem; alloc; hcpa_makespan = hcpa.Runner.makespan })
     configs
+  |> Exec.oks
 
 let configs_of_kind scale kind =
   List.filter (fun c -> Suite.kind c = kind) (Suite.all scale)
@@ -58,15 +64,19 @@ type delta_point = {
 }
 
 (* The sweeps parallelize over grid points — each point replays every
-   prepared configuration, so points are the coarsest independent unit. *)
-let sweep_delta ?jobs prepared =
+   prepared configuration, so points are the coarsest independent unit. A
+   failed point is dropped; the figure printers render missing grid points
+   as "-". *)
+let sweep_delta ?(exec = Exec.make ()) prepared =
   let grid =
     List.concat_map
       (fun mindelta -> List.map (fun maxdelta -> (mindelta, maxdelta)) maxdelta_values)
       mindelta_values
   in
-  Pool.map ?jobs
-    (fun (mindelta, maxdelta) ->
+  Exec.map exec
+    ~name:(fun (mindelta, maxdelta) ->
+      Printf.sprintf "tuning.sweep_delta/min=%g,max=%g" mindelta maxdelta)
+    ~f:(fun (mindelta, maxdelta) ->
       let strategy = Core.Rats.Delta { mindelta; maxdelta } in
       {
         mindelta;
@@ -74,6 +84,7 @@ let sweep_delta ?jobs prepared =
         avg_relative_makespan = average_relative prepared strategy;
       })
     grid
+  |> Exec.oks
 
 type timecost_point = {
   packing : bool;
@@ -81,14 +92,16 @@ type timecost_point = {
   avg_relative_makespan : float;
 }
 
-let sweep_timecost ?jobs prepared =
+let sweep_timecost ?(exec = Exec.make ()) prepared =
   let grid =
     List.concat_map
       (fun packing -> List.map (fun minrho -> (packing, minrho)) minrho_values)
       [ false; true ]
   in
-  Pool.map ?jobs
-    (fun (packing, minrho) ->
+  Exec.map exec
+    ~name:(fun (packing, minrho) ->
+      Printf.sprintf "tuning.sweep_timecost/packing=%b,rho=%g" packing minrho)
+    ~f:(fun (packing, minrho) ->
       let strategy = Core.Rats.Timecost { minrho; packing } in
       {
         packing;
@@ -96,6 +109,7 @@ let sweep_timecost ?jobs prepared =
         avg_relative_makespan = average_relative prepared strategy;
       })
     grid
+  |> Exec.oks
 
 (* Cached whole-sweep variants: the full point list of a (cluster,
    configuration set) sweep is one cache entry, so a warm Figure 4/5
@@ -112,8 +126,13 @@ let sweep_key sweep cluster configs =
      ]
     @ List.map Suite.name configs)
 
-let cached_points ?cache ~sweep ~encode ~decode cluster configs compute =
-  match cache with
+(* Whole-sweep entries aggregate many units of work, so a sweep computed
+   while tasks were failing must not be stored: a later warm run would
+   replay the degraded averages as if they were complete. *)
+let computed_cleanly = Exec.computed_cleanly
+
+let cached_points ~exec ~sweep ~encode ~decode cluster configs compute =
+  match exec.Exec.cache with
   | None -> compute ()
   | Some c -> (
       let key = sweep_key sweep cluster configs in
@@ -126,12 +145,13 @@ let cached_points ?cache ~sweep ~encode ~decode cluster configs compute =
       match Option.bind (Cache.find c key) decode_all with
       | Some points -> points
       | None ->
-          let points = compute () in
-          Cache.store c key (String.concat "\n" (List.map encode points));
+          let points, clean = computed_cleanly exec compute in
+          if clean then
+            Cache.store c key (String.concat "\n" (List.map encode points));
           points)
 
-let sweep_delta_for ?jobs ?cache cluster configs =
-  cached_points ?cache ~sweep:"sweep_delta"
+let sweep_delta_for ?(exec = Exec.make ()) cluster configs =
+  cached_points ~exec ~sweep:"sweep_delta"
     ~encode:(fun (p : delta_point) ->
       Printf.sprintf "%h %h %h" p.mindelta p.maxdelta p.avg_relative_makespan)
     ~decode:(fun line ->
@@ -147,10 +167,10 @@ let sweep_delta_for ?jobs ?cache cluster configs =
           with Failure _ -> None)
       | _ -> None)
     cluster configs
-    (fun () -> sweep_delta ?jobs (prepare ?jobs cluster configs))
+    (fun () -> sweep_delta ~exec (prepare ~exec cluster configs))
 
-let sweep_timecost_for ?jobs ?cache cluster configs =
-  cached_points ?cache ~sweep:"sweep_timecost"
+let sweep_timecost_for ?(exec = Exec.make ()) cluster configs =
+  cached_points ~exec ~sweep:"sweep_timecost"
     ~encode:(fun (p : timecost_point) ->
       Printf.sprintf "%b %h %h" p.packing p.minrho p.avg_relative_makespan)
     ~decode:(fun line ->
@@ -166,7 +186,7 @@ let sweep_timecost_for ?jobs ?cache cluster configs =
           with Failure _ | Invalid_argument _ -> None)
       | _ -> None)
     cluster configs
-    (fun () -> sweep_timecost ?jobs (prepare ?jobs cluster configs))
+    (fun () -> sweep_timecost ~exec (prepare ~exec cluster configs))
 
 type tuned = { delta : Core.Rats.delta_params; minrho : float }
 
@@ -234,29 +254,29 @@ let decode_tuned payload =
       with Failure _ -> None)
   | _ -> None
 
-let tune_cell ?jobs ?cache cluster kind configs =
+let tune_cell ?(exec = Exec.make ()) cluster kind configs =
   let compute () =
-    let prepared = prepare ?jobs cluster configs in
-    best (sweep_delta ?jobs prepared) (sweep_timecost ?jobs prepared)
+    let prepared = prepare ~exec cluster configs in
+    best (sweep_delta ~exec prepared) (sweep_timecost ~exec prepared)
   in
-  match cache with
+  match exec.Exec.cache with
   | None -> compute ()
   | Some cache -> (
       let key = tuned_key cluster kind configs in
       match Option.bind (Cache.find cache key) decode_tuned with
       | Some tuned -> tuned
       | None ->
-          let tuned = compute () in
-          Cache.store cache key (encode_tuned tuned);
+          let tuned, clean = computed_cleanly exec compute in
+          if clean then Cache.store cache key (encode_tuned tuned);
           tuned)
 
-let table4 ?jobs ?cache scale =
+let table4 ?exec scale =
   List.map
     (fun cluster ->
       let per_kind =
         List.map
           (fun kind ->
-            (kind, tune_cell ?jobs ?cache cluster kind (tuning_configs scale kind)))
+            (kind, tune_cell ?exec cluster kind (tuning_configs scale kind)))
           kinds
       in
       (cluster.Cluster.name, per_kind))

@@ -3,7 +3,14 @@
     For each application configuration the DAG, the HCPA allocation and the
     HCPA baseline makespan are computed once; every grid point then only
     pays its own RATS mapping + simulation. Averages are arithmetic means of
-    the per-configuration relative makespans, as in the paper. *)
+    the per-configuration relative makespans, as in the paper.
+
+    All entry points take an optional {!Rats_runtime.Exec} context
+    (default: plain serial execution, no cache, no faults). Under fault
+    injection a failed configuration or grid point is dropped from the
+    averages — counted in [exec.stats], reported by the CLIs — and a sweep
+    that lost any unit is never stored as a whole-sweep cache entry, so
+    degraded data cannot be replayed as complete on a later warm run. *)
 
 val mindelta_values : float list
 (** {0, −0.25, −0.5, −0.75} — 0 disables packing. *)
@@ -18,10 +25,10 @@ type prepared
 (** A configuration ready for sweeping (problem + allocation + baseline). *)
 
 val prepare :
-  ?jobs:int ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> prepared list
 (** DAG generation + HCPA allocation + baseline simulation per
-    configuration, on a {!Rats_runtime.Pool} of [jobs] workers. *)
+    configuration, on the context's worker pool. *)
 
 val average_relative : prepared list -> Rats_core.Rats.strategy -> float
 (** Mean over the prepared configurations of (strategy makespan / HCPA
@@ -45,7 +52,8 @@ type delta_point = {
   avg_relative_makespan : float;
 }
 
-val sweep_delta : ?jobs:int -> prepared list -> delta_point list
+val sweep_delta :
+  ?exec:Rats_runtime.Exec.t -> prepared list -> delta_point list
 (** The full mindelta × maxdelta grid (Figure 4), parallel over grid
     points. *)
 
@@ -55,20 +63,19 @@ type timecost_point = {
   avg_relative_makespan : float;
 }
 
-val sweep_timecost : ?jobs:int -> prepared list -> timecost_point list
+val sweep_timecost :
+  ?exec:Rats_runtime.Exec.t -> prepared list -> timecost_point list
 (** Both packing settings × every minrho (Figure 5), parallel over grid
     points. *)
 
 val sweep_delta_for :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list -> delta_point list
 (** [prepare] + {!sweep_delta}, with the whole point list as one cache
     entry — a warm Figure 4 regeneration skips every replay. *)
 
 val sweep_timecost_for :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_platform.Cluster.t -> Rats_daggen.Suite.config list ->
   timecost_point list
 (** [prepare] + {!sweep_timecost} as one cache entry (Figure 5). *)
@@ -80,8 +87,7 @@ val best : delta_point list -> timecost_point list -> tuned
     setting (the paper observes packing always helps). *)
 
 val table4 :
-  ?jobs:int ->
-  ?cache:Rats_runtime.Cache.t ->
+  ?exec:Rats_runtime.Exec.t ->
   Rats_daggen.Suite.scale ->
   (string * (Rats_daggen.Suite.app_kind * tuned) list) list
 (** For every cluster, the tuned parameters per application kind — the

@@ -1,5 +1,20 @@
 module Procset = Rats_util.Procset
 
+(* Bytes a placement keeps local: for every receiver rank held by a shared
+   processor, the overlap between that processor's fixed sender interval
+   and the rank's receiver interval. *)
+let local_bytes ~sender ~bytes ~p ~q place =
+  let total = ref 0. in
+  Array.iteri
+    (fun j proc ->
+      match Procset.rank proc sender with
+      | None -> ()
+      | Some i ->
+          total :=
+            !total +. Block.overlap ~amount:bytes ~senders:p ~receivers:q i j)
+    place;
+  !total
+
 let receiver_ranks ~sender ~receiver ~bytes =
   let p = Procset.size sender and q = Procset.size receiver in
   if p = 0 || q = 0 then invalid_arg "Placement.receiver_ranks: empty set";
@@ -53,5 +68,13 @@ let receiver_ranks ~sender ~receiver ~bytes =
               place.(j) <- proc;
               rest := tl)
       place;
-    place
+    (* Greedy claims ranks by per-candidate overlap and can paint itself
+       into a corner that keeps fewer bytes local than not permuting at
+       all; never return a placement worse than the natural order. *)
+    let natural = natural () in
+    if
+      local_bytes ~sender ~bytes ~p ~q place
+      >= local_bytes ~sender ~bytes ~p ~q natural
+    then place
+    else natural
   end

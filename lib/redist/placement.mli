@@ -13,7 +13,11 @@
     overlap in decreasing order and claim free receiver ranks, then fill the
     remaining ranks with the remaining processors in ascending order. For
     block distributions the overlap matrix is banded, so each shared
-    processor has at most ⌈p/q⌉+1 candidate ranks and greedy is near-optimal.
+    processor has at most ⌈p/q⌉+1 candidate ranks and greedy is
+    near-optimal. Greedy can still lose to the identity permutation on
+    adversarial set pairs, so the result is compared against the natural
+    (ascending) order and the better of the two is returned — the placement
+    is never worse than not optimizing.
 
     Note: subsequent redistributions model the data on the receiver set in
     ascending processor order again; the placement permutation is a

@@ -1,8 +1,18 @@
-type t = { dir : string; hits : int Atomic.t; misses : int Atomic.t }
+type t = {
+  dir : string;
+  fault : Fault.t option;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  quarantined : int Atomic.t;
+}
 
-let version = "rats-runtime-1"
+(* v2: receiver-rank placement now falls back to natural order when greedy
+   keeps fewer bytes local, changing simulated makespans for some suites. *)
+let version = "rats-runtime-2"
 
 let default_dir = Filename.concat "bench_results" ".cache"
+
+let quarantine_subdir = "quarantine"
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
@@ -10,18 +20,26 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?(dir = default_dir) () =
-  mkdir_p dir;
-  { dir; hits = Atomic.make 0; misses = Atomic.make 0 }
+let create ?fault ?(dir = default_dir) () =
+  (* An uncreatable directory (permissions, a file in the way) must not
+     kill the run: the cache degrades to a pure miss machine. *)
+  (try mkdir_p dir with Sys_error _ | Unix.Unix_error _ -> ());
+  {
+    dir;
+    fault;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    quarantined = Atomic.make 0;
+  }
 
-let of_env () =
+let of_env ?fault () =
   match Option.map String.lowercase_ascii (Sys.getenv_opt "RATS_CACHE") with
   | Some ("off" | "0" | "no" | "false") -> None
   | _ ->
       let dir =
         Option.value (Sys.getenv_opt "RATS_CACHE_DIR") ~default:default_dir
       in
-      Some (create ~dir ())
+      Some (create ?fault ~dir ())
 
 (* Length-prefixing each part makes the encoding injective: ["ab"; "c"] and
    ["a"; "bc"] hash differently. *)
@@ -36,6 +54,8 @@ let key parts =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let path t key = Filename.concat t.dir (key ^ ".cache")
+
+let quarantine_dir t = Filename.concat t.dir quarantine_subdir
 
 (* Entry layout: 32 hex chars (MD5 of the payload), '\n', payload. *)
 let read_entry file =
@@ -54,6 +74,21 @@ let read_entry file =
         else None
       end)
 
+(* A damaged entry is evidence — of a torn write, bad disk, or injected
+   fault — so it is moved aside for post-mortem rather than destroyed; the
+   slot becomes writable again either way. *)
+let quarantine t file =
+  Atomic.incr t.quarantined;
+  let moved =
+    try
+      mkdir_p (quarantine_dir t);
+      Sys.rename file
+        (Filename.concat (quarantine_dir t) (Filename.basename file));
+      true
+    with Sys_error _ | Unix.Unix_error _ -> false
+  in
+  if not moved then try Sys.remove file with Sys_error _ -> ()
+
 let find t key =
   let file = path t key in
   let entry =
@@ -61,7 +96,7 @@ let find t key =
       match read_entry file with
       | Some _ as e -> e
       | None | (exception _) ->
-          (try Sys.remove file with Sys_error _ -> ());
+          quarantine t file;
           None
     else None
   in
@@ -71,23 +106,47 @@ let find t key =
   entry
 
 let store t key payload =
+  (* Injected write faults: [Corrupt] damages the payload after the
+     checksum is taken (a torn write the reader must catch and quarantine);
+     [Crash] aborts the write mid-entry like a full disk would. *)
+  let checksum = Digest.to_hex (Digest.string payload) in
+  let payload_to_write =
+    Fault.corrupt_payload t.fault ~site:"cache.write" ~key payload
+  in
+  let tmp = ref None in
   try
     mkdir_p t.dir;
-    let tmp, oc =
+    let tmp_file, oc =
       Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:t.dir
         "entry" ".tmp"
     in
+    tmp := Some tmp_file;
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        output_string oc (Digest.to_hex (Digest.string payload));
+        output_string oc checksum;
         output_char oc '\n';
-        output_string oc payload);
-    Sys.rename tmp (path t key)
-  with Sys_error _ | Unix.Unix_error _ -> ()
+        (match t.fault with
+        | Some fault when Fault.fires fault Fault.Crash ~site:"cache.write" ~key
+          ->
+            (* Half the payload lands, then the device fills up. *)
+            output_string oc
+              (String.sub payload_to_write 0 (String.length payload_to_write / 2));
+            raise (Unix.Unix_error (Unix.ENOSPC, "write", tmp_file))
+        | _ -> ());
+        output_string oc payload_to_write);
+    Sys.rename tmp_file (path t key);
+    tmp := None
+  with Sys_error _ | Unix.Unix_error _ -> (
+    (* The cache is an accelerator, never a correctness dependency; a
+       failed write must also not leak its temp file. *)
+    match !tmp with
+    | Some file -> (try Sys.remove file with Sys_error _ -> ())
+    | None -> ())
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
+let quarantined t = Atomic.get t.quarantined
 
 let hit_rate t =
   let h = hits t and m = misses t in
@@ -95,4 +154,5 @@ let hit_rate t =
 
 let reset_counters t =
   Atomic.set t.hits 0;
-  Atomic.set t.misses 0
+  Atomic.set t.misses 0;
+  Atomic.set t.quarantined 0

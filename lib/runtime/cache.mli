@@ -11,8 +11,16 @@
     so a crashed or concurrent run can never expose a half-written entry.
     Reads are corruption-tolerant: every entry embeds a checksum of its
     payload, and any unreadable, truncated or tampered file is treated as a
-    miss and deleted. Hit/miss counters are atomics — safe to bump from
-    {!Pool} workers. *)
+    miss and {e quarantined} — moved to [<dir>/quarantine/] for post-mortem
+    instead of silently deleted — leaving the slot writable again. All I/O
+    errors (unwritable directory, full disk, partial writes) degrade the
+    cache to misses; they never fail the run. Hit/miss/quarantine counters
+    are atomics — safe to bump from {!Pool} workers.
+
+    A {!Fault} configuration, when given, drives the error paths on demand:
+    [corrupt@cache.write] tears payloads behind the checksum's back and
+    [crash@cache.write] aborts writes mid-entry with a simulated [ENOSPC] —
+    this is how the quarantine and partial-write behavior is tested. *)
 
 type t
 
@@ -23,10 +31,12 @@ val version : string
 val default_dir : string
 (** ["bench_results/.cache"]. *)
 
-val create : ?dir:string -> unit -> t
-(** Creates [dir] (and its parent) if needed. *)
+val create : ?fault:Fault.t -> ?dir:string -> unit -> t
+(** Creates [dir] (and its parent) if possible; an uncreatable directory
+    degrades every lookup to a miss and every store to a no-op rather than
+    raising. *)
 
-val of_env : unit -> t option
+val of_env : ?fault:Fault.t -> unit -> t option
 (** [None] when [RATS_CACHE] is ["off"] / ["0"]; otherwise a cache in
     [RATS_CACHE_DIR] (default {!default_dir}). *)
 
@@ -36,23 +46,29 @@ val key : string list -> string
 
 val find : t -> string -> string option
 (** Payload stored under the key, or [None] (counted as a miss) when absent
-    or corrupted; corrupted entries are removed. *)
+    or corrupted; corrupted entries are quarantined. *)
 
 val store : t -> string -> string -> unit
 (** [store t key payload] atomically persists the entry. I/O errors are
-    swallowed — the cache is an accelerator, never a correctness
-    dependency. *)
+    swallowed (and the temp file removed) — the cache is an accelerator,
+    never a correctness dependency. *)
 
 val path : t -> string -> string
 (** On-disk location of a key's entry (exposed for tests and tooling). *)
+
+val quarantine_dir : t -> string
+(** Where damaged entries are moved ([<dir>/quarantine]). *)
 
 val hits : t -> int
 
 val misses : t -> int
 
+val quarantined : t -> int
+(** Damaged entries encountered (and moved aside) so far. *)
+
 val hit_rate : t -> float
 (** Hits over lookups, [0.] before the first lookup. *)
 
 val reset_counters : t -> unit
-(** Zeroes {!hits} and {!misses} — used to attribute counts per bench
-    target. *)
+(** Zeroes {!hits}, {!misses} and {!quarantined} — used to attribute counts
+    per bench target. *)

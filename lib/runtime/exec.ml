@@ -1,0 +1,176 @@
+type stats = {
+  failed : int Atomic.t;
+  retried : int Atomic.t;
+  resumed : int Atomic.t;
+}
+
+type t = {
+  jobs : int;
+  cache : Cache.t option;
+  fault : Fault.t option;
+  retry : Retry.policy;
+  strict : bool;
+  journal : Journal.t option;
+  stats : stats;
+}
+
+exception Task_failed of string * Retry.failure
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed (name, failure) ->
+        Some
+          (Printf.sprintf "Exec.Task_failed(%s: %s)" name
+             (Retry.failure_to_string failure))
+    | _ -> None)
+
+let fresh_stats () =
+  { failed = Atomic.make 0; retried = Atomic.make 0; resumed = Atomic.make 0 }
+
+let make ?jobs ?cache ?fault ?(retry = Retry.default) ?(strict = false)
+    ?journal () =
+  {
+    jobs = (match jobs with Some j -> max 1 j | None -> Pool.default_jobs ());
+    cache;
+    fault;
+    retry;
+    strict;
+    journal;
+    stats = fresh_stats ();
+  }
+
+let of_env ?jobs ?retry ?strict ?journal () =
+  let fault = Fault.of_env () in
+  make ?jobs ?cache:(Cache.of_env ?fault ()) ?fault ?retry ?strict ?journal ()
+
+type source = Computed | From_cache | From_journal
+
+type 'a outcome = {
+  source : source;
+  attempts : int;
+  value : ('a, Retry.failure) result;
+}
+
+let site = "worker"
+
+let run_task t ~name f =
+  let task ~attempt =
+    (* The attempt number is part of the fault key: an injected crash is a
+       fresh draw on retry, so retry-until-success is testable. *)
+    let key = Printf.sprintf "%s#%d" name attempt in
+    Fault.crash_point t.fault ~site ~key;
+    Fault.delay_point t.fault ~site ~key;
+    f ()
+  in
+  let Retry.{ value; attempts } = Retry.run ~policy:t.retry ~name task in
+  if attempts > 1 then
+    ignore (Atomic.fetch_and_add t.stats.retried (attempts - 1));
+  (match value with
+  | Error failure ->
+      Atomic.incr t.stats.failed;
+      if t.strict then raise (Task_failed (name, failure))
+  | Ok _ -> ());
+  { source = Computed; attempts; value }
+
+let keyed t ~name ~key ~encode ~decode f =
+  let cached =
+    match t.cache with
+    | None -> None
+    | Some c -> Option.bind (Cache.find c key) decode
+  in
+  match cached with
+  | Some v -> { source = From_cache; attempts = 1; value = Ok v }
+  | None -> (
+      let journaled =
+        match t.journal with
+        | None -> None
+        | Some j -> Option.bind (Journal.find j key) decode
+      in
+      match journaled with
+      | Some v ->
+          Atomic.incr t.stats.resumed;
+          (* Promote into the cache so the next run hits the fast path. *)
+          Option.iter (fun c -> Cache.store c key (encode v)) t.cache;
+          { source = From_journal; attempts = 1; value = Ok v }
+      | None ->
+          let outcome = run_task t ~name f in
+          (match outcome.value with
+          | Ok v ->
+              let payload = encode v in
+              Option.iter (fun c -> Cache.store c key payload) t.cache;
+              Option.iter (fun j -> Journal.append j ~key payload) t.journal
+          | Error _ -> ());
+          outcome)
+
+let map t ~name ~f l =
+  if t.strict then
+    (* Fail fast: [run_task] raises [Task_failed]; the pool stops claiming
+       work and re-raises it here. *)
+    Pool.map ~jobs:t.jobs
+      (fun x ->
+        match (run_task t ~name:(name x) (fun () -> f x)).value with
+        | Ok v -> Ok v
+        | Error failure -> Error (name x, failure))
+      l
+  else
+    let captures =
+      Pool.map_result ~jobs:t.jobs
+        (fun x -> (run_task t ~name:(name x) (fun () -> f x)).value)
+        l
+    in
+    List.map2
+      (fun x capture ->
+        match capture with
+        | Ok (Ok v) -> Ok v
+        | Ok (Error failure) -> Error (name x, failure)
+        | Error (e : Pool.task_error) ->
+            (* An exception that escaped the retry wrapper entirely — a bug
+               rather than a task fault, but still one slot, not a lost
+               sweep. *)
+            Error
+              ( name x,
+                Retry.Crashed
+                  {
+                    message = Printexc.to_string e.Pool.exn;
+                    backtrace = e.Pool.backtrace;
+                    attempts = 1;
+                  } ))
+      l captures
+
+let map_outcome t ~run l =
+  if t.strict then
+    (* [run] is built from [run_task]/[keyed], which raise [Task_failed] in
+       strict mode; the pool stops claiming work and re-raises here. *)
+    Pool.map ~jobs:t.jobs run l
+  else
+    List.map
+      (function
+        | Ok o -> o
+        | Error (e : Pool.task_error) ->
+            (* An exception that escaped the retry wrapper entirely — a bug
+               rather than a task fault, but still one slot, not a lost
+               sweep. *)
+            Atomic.incr t.stats.failed;
+            {
+              source = Computed;
+              attempts = 1;
+              value =
+                Error
+                  (Retry.Crashed
+                     {
+                       message = Printexc.to_string e.Pool.exn;
+                       backtrace = e.Pool.backtrace;
+                       attempts = 1;
+                     });
+            })
+      (Pool.map_result ~jobs:t.jobs run l)
+
+let computed_cleanly t f =
+  let before = Atomic.get t.stats.failed in
+  let v = f () in
+  (v, Atomic.get t.stats.failed = before)
+
+let oks l = List.filter_map (function Ok v -> Some v | Error _ -> None) l
+
+let failures l =
+  List.filter_map (function Ok _ -> None | Error e -> Some e) l

@@ -1,0 +1,159 @@
+type t = {
+  path : string;
+  mutable fd : Unix.file_descr option;
+  entries : (string, string) Hashtbl.t;
+  loaded : int;
+  mutable appended : int;
+  mutex : Mutex.t;
+}
+
+let default_dir = Filename.concat "bench_results" ".journal"
+
+let header = "RATS-JOURNAL 1\n"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+(* Record checksum covers lengths and contents, length-prefixed so the
+   (key, payload) split is part of what is verified. *)
+let record_checksum key payload =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%d:%s%d:%s" (String.length key) key
+          (String.length payload) payload))
+
+let encode_record key payload =
+  Printf.sprintf "%s %d %d\n%s%s\n"
+    (record_checksum key payload)
+    (String.length key) (String.length payload) key payload
+
+(* Parse records from [contents] after the header; returns the entries of
+   the well-formed prefix and the offset where the first damaged (or
+   missing) record starts — everything after it is a torn tail. *)
+let parse_records contents =
+  let len = String.length contents in
+  let entries = Hashtbl.create 256 in
+  let rec go offset =
+    if offset >= len then offset
+    else
+      match String.index_from_opt contents offset '\n' with
+      | None -> offset
+      | Some nl -> (
+          let meta = String.sub contents offset (nl - offset) in
+          match String.split_on_char ' ' meta with
+          | [ checksum; klen; plen ]
+            when String.length checksum = 32 -> (
+              match (int_of_string_opt klen, int_of_string_opt plen) with
+              | Some klen, Some plen
+                when klen >= 0 && plen >= 0
+                     && nl + 1 + klen + plen + 1 <= len
+                     && contents.[nl + klen + plen + 1] = '\n' ->
+                  let key = String.sub contents (nl + 1) klen in
+                  let payload = String.sub contents (nl + 1 + klen) plen in
+                  if record_checksum key payload = checksum then begin
+                    Hashtbl.replace entries key payload;
+                    go (nl + 1 + klen + plen + 1)
+                  end
+                  else offset
+              | _ -> offset)
+          | _ -> offset)
+  in
+  let good = go (String.length header) in
+  (entries, good)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let path t = t.path
+
+let open_ ?(dir = default_dir) ~name ~resume () =
+  mkdir_p dir;
+  let path = Filename.concat dir (sanitize name ^ ".journal") in
+  let previous =
+    if resume && Sys.file_exists path then
+      match read_file path with
+      | contents
+        when String.length contents >= String.length header
+             && String.sub contents 0 (String.length header) = header ->
+          Some (parse_records contents)
+      | _ | (exception Sys_error _) -> None
+    else None
+  in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  let entries, loaded =
+    match previous with
+    | Some (entries, good_offset) ->
+        (* Drop the torn tail of the crashed run, keep the good prefix. *)
+        Unix.ftruncate fd good_offset;
+        ignore (Unix.lseek fd 0 Unix.SEEK_END);
+        (entries, Hashtbl.length entries)
+    | None ->
+        Unix.ftruncate fd 0;
+        ignore (Unix.single_write_substring fd header 0 (String.length header));
+        Unix.fsync fd;
+        (Hashtbl.create 256, 0)
+  in
+  { path; fd = Some fd; entries; loaded; appended = 0; mutex = Mutex.create () }
+
+let find t key = Hashtbl.find_opt t.entries key
+
+let loaded t = t.loaded
+
+let appended t = t.appended
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      go (off + Unix.single_write_substring fd s off (n - off))
+  in
+  go 0
+
+let append t ~key payload =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match t.fd with
+      | None -> ()
+      | Some fd -> (
+          try
+            write_all fd (encode_record key payload);
+            Unix.fsync fd;
+            Hashtbl.replace t.entries key payload;
+            t.appended <- t.appended + 1
+          with Unix.Unix_error (e, _, _) ->
+            Printf.eprintf
+              "journal: write to %s failed (%s); resumability disabled for \
+               this run\n\
+               %!"
+              t.path (Unix.error_message e);
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            t.fd <- None))
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match t.fd with
+      | Some fd ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          t.fd <- None
+      | None -> ())

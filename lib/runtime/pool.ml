@@ -6,6 +6,10 @@ let default_jobs () =
       | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+type task_error = { index : int; exn : exn; backtrace : string }
+
+type 'a capture = ('a, task_error) result
+
 (* One contiguous shard of the index space per worker, drained through an
    atomic cursor. [fetch_and_add] only ever moves cursors forward, so every
    index is claimed exactly once even under concurrent stealing. *)
@@ -36,25 +40,41 @@ let take shards s =
   let i = Atomic.fetch_and_add shard.cursor 1 in
   if i < shard.hi then Some i else steal shards
 
-let map_array ?jobs f input =
+let capture f i x =
+  match f x with
+  | v -> Ok v
+  | exception exn ->
+      Error { index = i; exn; backtrace = Printexc.get_backtrace () }
+
+(* Shared driver. [fail_fast] reproduces the historical [map] contract —
+   one raising task makes every worker stop claiming new work and the
+   exception is re-raised in the caller; without it every task runs to a
+   structured [capture], which is what fault-tolerant sweeps consume. *)
+let map_array_capture ?jobs ~fail_fast f input =
   let n = Array.length input in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let jobs = min jobs n in
-  if jobs <= 1 then Array.map f input
+  if jobs <= 1 then
+    (* Serial fallback. Fail-fast callers want the historical contract —
+       the exception escapes at the first raising task, later tasks never
+       run — so only the capturing mode wraps. *)
+    if fail_fast then Array.map (fun x -> Ok (f x)) input
+    else Array.mapi (capture f) input
   else begin
     let results = Array.make n None in
-    let error = Atomic.make None in
+    let failed = Atomic.make false in
     let shards = make_shards n jobs in
     let worker s () =
       let rec loop () =
-        if Atomic.get error = None then
+        if not (fail_fast && Atomic.get failed) then
           match take shards s with
           | None -> ()
           | Some i ->
-              (match f input.(i) with
-              | v -> results.(i) <- Some v
-              | exception e ->
-                  ignore (Atomic.compare_and_set error None (Some e)));
+              let r = capture f i input.(i) in
+              (match r with
+              | Error _ -> Atomic.set failed true
+              | Ok _ -> ());
+              results.(i) <- Some r;
               loop ()
       in
       loop ()
@@ -62,9 +82,47 @@ let map_array ?jobs f input =
     let domains = Array.init (jobs - 1) (fun s -> Domain.spawn (worker (s + 1))) in
     worker 0 ();
     Array.iter Domain.join domains;
-    (match Atomic.get error with Some e -> raise e | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
+    (* With [fail_fast] some slots may be unclaimed; represent them as the
+       first error so callers never see a hole. Without it every slot is
+       filled. *)
+    let first_error =
+      Array.fold_left
+        (fun acc r ->
+          match (acc, r) with
+          | None, Some (Error _ as e) -> Some e
+          | acc, _ -> acc)
+        None results
+    in
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some r -> r
+        | None -> (
+            match first_error with
+            | Some e -> e
+            | None ->
+                assert (not fail_fast);
+                Error
+                  { index = i; exn = Failure "Pool: unclaimed task"; backtrace = "" }))
+      results
   end
+
+let map_result ?jobs f l =
+  Array.to_list
+    (map_array_capture ?jobs ~fail_fast:false f (Array.of_list l))
+
+let map_array ?jobs f input =
+  let captured = map_array_capture ?jobs ~fail_fast:true f input in
+  (* Raise the first captured error, preserving the historical contract. *)
+  (match
+     Array.fold_left
+       (fun acc r ->
+         match (acc, r) with None, Error e -> Some e | acc, _ -> acc)
+       None captured
+   with
+  | Some e -> raise e.exn
+  | None -> ());
+  Array.map (function Ok v -> v | Error _ -> assert false) captured
 
 let map ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))
 

@@ -13,11 +13,26 @@
     the common path); a worker whose shard is empty steals from the shard
     with the most remaining work. With [jobs = 1] (or singleton/empty
     inputs) no domain is spawned at all — the serial fallback is a plain
-    [map]. *)
+    [map].
+
+    Two failure contracts coexist. {!map}/{!mapi}/{!map_array} fail fast: a
+    raising task stops the sweep and the exception is re-raised in the
+    caller. {!map_result} captures: every task runs to completion and a
+    raising task becomes a structured [Error] in its own slot, which is what
+    the fault-tolerant experiment engine ({!Exec}) consumes — one poisoned
+    configuration no longer discards the other results. *)
 
 val default_jobs : unit -> int
 (** The [RATS_JOBS] environment variable if set to a positive integer,
     otherwise [Domain.recommended_domain_count ()]. *)
+
+type task_error = {
+  index : int;  (** Input position of the task that raised. *)
+  exn : exn;
+  backtrace : string;
+}
+
+type 'a capture = ('a, task_error) result
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f l] is observably [List.map f l] (same order, same values),
@@ -31,3 +46,8 @@ val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array variant of {!map}. The input array must not be mutated during the
     call. *)
+
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b capture list
+(** Fault-capturing variant: same order and worker discipline as {!map},
+    but a raising task yields [Error] in its slot and the remaining tasks
+    still run. The result list always has the length of the input. *)

@@ -6,6 +6,9 @@ type t = {
   start : float;
   mutable completed : int;
   mutable cache_hits : int;
+  mutable failed : int;
+  mutable retried : int;
+  mutable resumed : int;
   mutable last_print : float;
 }
 
@@ -21,6 +24,9 @@ let create ?(enabled = true) ~label ~total () =
     start = now;
     completed = 0;
     cache_hits = 0;
+    failed = 0;
+    retried = 0;
+    resumed = 0;
     last_print = now;
   }
 
@@ -28,20 +34,31 @@ let rate t now =
   let dt = now -. t.start in
   if dt <= 0. then 0. else float_of_int t.completed /. dt
 
+(* The fault counters only appear once nonzero, so a clean run prints the
+   exact same lines it always did. *)
+let fault_suffix t =
+  let part name n = if n = 0 then "" else Printf.sprintf "  %s %d" name n in
+  part "resumed" t.resumed ^ part "failed" t.failed ^ part "retried" t.retried
+
 let print_line t now =
   let r = rate t now in
   let eta =
     if r <= 0. then "?" else Printf.sprintf "%.0fs" (float_of_int (t.total - t.completed) /. r)
   in
-  Printf.eprintf "[%s] %d/%d  %.1f cfg/s  eta %s  cache-hit %d%%\n%!" t.label
+  Printf.eprintf "[%s] %d/%d  %.1f cfg/s  eta %s  cache-hit %d%%%s\n%!" t.label
     t.completed t.total r eta
     (if t.completed = 0 then 0 else 100 * t.cache_hits / t.completed)
+    (fault_suffix t)
 
-let step ?(cache_hit = false) t =
+let step ?(cache_hit = false) ?(resumed = false) ?(failed = false)
+    ?(retries = 0) t =
   if t.enabled then begin
     Mutex.lock t.mutex;
     t.completed <- t.completed + 1;
     if cache_hit then t.cache_hits <- t.cache_hits + 1;
+    if resumed then t.resumed <- t.resumed + 1;
+    if failed then t.failed <- t.failed + 1;
+    t.retried <- t.retried + retries;
     let now = Unix.gettimeofday () in
     if now -. t.last_print >= min_print_interval then begin
       t.last_print <- now;
@@ -54,8 +71,10 @@ let finish t =
   if t.enabled then begin
     Mutex.lock t.mutex;
     let now = Unix.gettimeofday () in
-    Printf.eprintf "[%s] %d/%d done in %.1fs  (%.1f cfg/s, cache-hit %d%%)\n%!"
-      t.label t.completed t.total (now -. t.start) (rate t now)
-      (if t.completed = 0 then 0 else 100 * t.cache_hits / t.completed);
+    Printf.eprintf
+      "[%s] %d/%d done in %.1fs  (%.1f cfg/s, cache-hit %d%%%s)\n%!" t.label
+      t.completed t.total (now -. t.start) (rate t now)
+      (if t.completed = 0 then 0 else 100 * t.cache_hits / t.completed)
+      (fault_suffix t);
     Mutex.unlock t.mutex
   end

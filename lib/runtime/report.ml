@@ -4,15 +4,20 @@ type entry = {
   jobs : int;
   cache_hits : int;
   cache_misses : int;
+  failed : int;
+  retried : int;
+  resumed : int;
 }
 
 type t = { scale : string; jobs : int; mutable entries : entry list }
 
 let create ~scale ~jobs () = { scale; jobs; entries = [] }
 
-let record t ~label ~wall_s ~cache_hits ~cache_misses =
+let record t ~label ~wall_s ~cache_hits ~cache_misses ?(failed = 0)
+    ?(retried = 0) ?(resumed = 0) () =
   t.entries <-
-    { label; wall_s; jobs = t.jobs; cache_hits; cache_misses } :: t.entries
+    { label; wall_s; jobs = t.jobs; cache_hits; cache_misses; failed; retried; resumed }
+    :: t.entries
 
 let entries t = List.rev t.entries
 
@@ -35,8 +40,12 @@ let json_string s =
 let write t path =
   let entries = entries t in
   let total_wall = List.fold_left (fun a e -> a +. e.wall_s) 0. entries in
-  let hits = List.fold_left (fun a e -> a + e.cache_hits) 0 entries in
-  let misses = List.fold_left (fun a e -> a + e.cache_misses) 0 entries in
+  let sum f = List.fold_left (fun a e -> a + f e) 0 entries in
+  let hits = sum (fun e -> e.cache_hits) in
+  let misses = sum (fun e -> e.cache_misses) in
+  let failed = sum (fun e -> e.failed) in
+  let retried = sum (fun e -> e.retried) in
+  let resumed = sum (fun e -> e.resumed) in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -50,14 +59,20 @@ let write t path =
        hits misses
        (if hits + misses = 0 then 0.
         else float_of_int hits /. float_of_int (hits + misses)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"faults\": { \"failed\": %d, \"retried\": %d, \"resumed\": %d },\n"
+       failed retried resumed);
   Buffer.add_string buf "  \"targets\": [\n";
   List.iteri
     (fun i e ->
       Buffer.add_string buf
         (Printf.sprintf
            "    { \"label\": %s, \"wall_s\": %.3f, \"jobs\": %d, \
-            \"cache_hits\": %d, \"cache_misses\": %d }%s\n"
+            \"cache_hits\": %d, \"cache_misses\": %d, \"failed\": %d, \
+            \"retried\": %d, \"resumed\": %d }%s\n"
            (json_string e.label) e.wall_s e.jobs e.cache_hits e.cache_misses
+           e.failed e.retried e.resumed
            (if i = List.length entries - 1 then "" else ",")))
     entries;
   Buffer.add_string buf "  ]\n}\n";

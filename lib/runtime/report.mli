@@ -1,9 +1,11 @@
 (** Machine-readable runtime report ([BENCH_runtime.json]).
 
     The bench harness records one entry per executed target — wall time,
-    worker count, cache hits/misses attributed to that target — and writes a
-    single JSON document at exit, giving future changes a perf trajectory to
-    compare against. JSON is emitted by hand (flat schema, no dependency). *)
+    worker count, cache hits/misses and fault-tolerance counters (failed /
+    retried / resumed configurations) attributed to that target — and
+    writes a single JSON document at exit, giving future changes a perf and
+    reliability trajectory to compare against. JSON is emitted by hand
+    (flat schema, no dependency). *)
 
 type entry = {
   label : string;
@@ -11,6 +13,9 @@ type entry = {
   jobs : int;
   cache_hits : int;
   cache_misses : int;
+  failed : int;
+  retried : int;
+  resumed : int;
 }
 
 type t
@@ -18,9 +23,18 @@ type t
 val create : scale:string -> jobs:int -> unit -> t
 
 val record :
-  t -> label:string -> wall_s:float -> cache_hits:int -> cache_misses:int ->
+  t ->
+  label:string ->
+  wall_s:float ->
+  cache_hits:int ->
+  cache_misses:int ->
+  ?failed:int ->
+  ?retried:int ->
+  ?resumed:int ->
+  unit ->
   unit
-(** Entries are reported in recording order. *)
+(** Entries are reported in recording order; the fault counters default to
+    0. *)
 
 val entries : t -> entry list
 

@@ -118,6 +118,70 @@ let test_cache_corruption_recovery () =
         Alcotest.(option string)
         "recovered" (Some "recomputed") (Cache.find cache key))
 
+(* --- cache error paths (driven by fault injection) ----------------------- *)
+
+let fault_of_spec spec =
+  match Rats_runtime.Fault.parse spec with
+  | Ok t -> t
+  | Error reason -> Alcotest.failf "spec %S rejected: %s" spec reason
+
+(* A write fault tears the payload behind the checksum's back; the reader
+   must detect it, quarantine the file and recover on the next store. *)
+let test_cache_corrupt_write_quarantine () =
+  let dir = fresh_cache_dir () in
+  let fault = fault_of_spec "corrupt@cache.write=1" in
+  let cache = Cache.create ~fault ~dir () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let key = Cache.key [ "test"; "torn-write" ] in
+      Cache.store cache key "a payload long enough to be torn in half";
+      check Alcotest.(option string) "torn entry is a miss" None
+        (Cache.find cache key);
+      check Alcotest.int "torn entry quarantined" 1 (Cache.quarantined cache);
+      check Alcotest.bool "quarantine dir holds the evidence" true
+        (Sys.file_exists (Cache.quarantine_dir cache)
+        && Sys.readdir (Cache.quarantine_dir cache) <> [||]);
+      (* A clean cache on the same directory can reuse the slot. *)
+      let clean = Cache.create ~dir () in
+      Cache.store clean key "recomputed";
+      check
+        Alcotest.(option string)
+        "slot usable after quarantine" (Some "recomputed")
+        (Cache.find clean key))
+
+(* A crash mid-write (simulated ENOSPC) must leave no entry at all — the
+   temp-file-plus-rename protocol never exposes a half-written file. *)
+let test_cache_crash_write_is_noop () =
+  let dir = fresh_cache_dir () in
+  let fault = fault_of_spec "crash@cache.write=1" in
+  let cache = Cache.create ~fault ~dir () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let key = Cache.key [ "test"; "enospc" ] in
+      Cache.store cache key "never makes it to disk";
+      check Alcotest.bool "no entry file" false
+        (Sys.file_exists (Cache.path cache key));
+      check Alcotest.(option string) "store degraded to a no-op" None
+        (Cache.find cache key);
+      check Alcotest.bool "no temp litter" true
+        (Array.for_all
+           (fun f -> f = "quarantine")
+           (Sys.readdir dir)))
+
+(* A cache directory that cannot be created (nested under a regular file —
+   chmod is useless when tests run as root) degrades to misses and no-op
+   stores instead of raising. *)
+let test_cache_unwritable_dir () =
+  let blocker = Filename.temp_file "rats_cache_blocker" "" in
+  Fun.protect ~finally:(fun () -> Sys.remove blocker)
+    (fun () ->
+      let cache = Cache.create ~dir:(Filename.concat blocker "cache") () in
+      let key = Cache.key [ "test"; "unwritable" ] in
+      Cache.store cache key "dropped";
+      check Alcotest.(option string) "store was a no-op" None
+        (Cache.find cache key);
+      check Alcotest.int "lookups count as misses" 1 (Cache.misses cache))
+
 let test_cache_runner_integration () =
   with_cache (fun cache ->
       let config = { Suite.spec = Suite.Fft { k = 2 }; sample = 0 } in
@@ -156,6 +220,12 @@ let () =
             test_cache_key_sensitivity;
           Alcotest.test_case "corrupted entry recovery" `Quick
             test_cache_corruption_recovery;
+          Alcotest.test_case "torn write quarantined" `Quick
+            test_cache_corrupt_write_quarantine;
+          Alcotest.test_case "crashed write is a no-op" `Quick
+            test_cache_crash_write_is_noop;
+          Alcotest.test_case "unwritable directory degrades" `Quick
+            test_cache_unwritable_dir;
           Alcotest.test_case "runner integration" `Quick
             test_cache_runner_integration;
         ] );

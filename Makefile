@@ -8,6 +8,9 @@
 #                           BENCH_runtime.json
 #   make bench-resume-smoke kill a cold fig2 run mid-sweep, then resume it —
 #                           the smoke test of crash-resumable sweeps
+#   make trace-smoke        cold fig2 run with --trace/--metrics, then validate
+#                           both files and render an SVG timeline
+#   make check              build + tier-1 tests + trace-smoke
 #   make clean-cache        drop the on-disk result cache and journal
 #                           (bench_results/.cache, bench_results/.journal)
 #   make clean              dune clean
@@ -15,7 +18,8 @@
 JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
-.PHONY: build test test-fault bench-smoke bench-resume-smoke clean-cache clean
+.PHONY: build test test-fault bench-smoke bench-resume-smoke trace-smoke \
+  check clean-cache clean
 
 build:
 	dune build
@@ -40,6 +44,25 @@ bench-resume-smoke: build
 	@echo "--- killed; resuming ---"
 	RATS_SCALE=smoke RATS_CACHE=off \
 	  dune exec bench/main.exe -- fig2 --resume $(JOBS_FLAG)
+
+# Observability acceptance: a cold fig2 run (scratch cache directory, so
+# every counter the validator requires actually moves) recording a Chrome
+# trace and a metrics snapshot, which trace_check then parses back,
+# checks for the bench counters, and renders as an SVG timeline.
+trace-smoke: build
+	rm -rf bench_results/.trace-cache
+	RATS_SCALE=smoke RATS_JOURNAL=off \
+	  RATS_CACHE_DIR=bench_results/.trace-cache \
+	  dune exec bench/main.exe -- fig2 $(JOBS_FLAG) \
+	  --trace bench_results/trace.json --metrics bench_results/metrics.json
+	dune exec bin/trace_check.exe -- \
+	  --trace bench_results/trace.json --metrics bench_results/metrics.json \
+	  --require-bench-counters --svg bench_results/timeline.svg
+	rm -rf bench_results/.trace-cache
+
+check: build
+	dune runtest
+	$(MAKE) trace-smoke
 
 clean-cache:
 	rm -rf bench_results/.cache bench_results/.journal

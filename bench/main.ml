@@ -3,7 +3,7 @@
    computational kernels.
 
    Usage: main.exe [-j N|--jobs N] [--retries N] [--timeout S] [--resume]
-                   [--strict]
+                   [--strict] [--trace FILE] [--metrics FILE]
                    [table1|table2|table3|fig2|fig3|fig4|fig5|table4|fig6|
                     fig7|table5|table6|ablations|ccr|autotune|micro|all]
    (default: all)
@@ -20,7 +20,10 @@
    counted in BENCH_runtime.json) instead of aborting the run; [--strict]
    restores fail-fast. Every run writes wall time, jobs, cache hit/miss and
    failed/retried/resumed counts per executed target to
-   BENCH_runtime.json. *)
+   BENCH_runtime.json. [--trace FILE] (or RATS_TRACE) records a Chrome
+   trace-event file viewable in Perfetto; [--metrics FILE] (or
+   RATS_METRICS) dumps the metrics registry at exit (.json → JSON,
+   otherwise Prometheus text). *)
 
 module Suite = Rats_daggen.Suite
 module Cluster = Rats_platform.Cluster
@@ -32,6 +35,7 @@ module Exec = Rats_runtime.Exec
 module Journal = Rats_runtime.Journal
 module Retry = Rats_runtime.Retry
 module Report = Rats_runtime.Report
+module Obs_cli = Rats_obs.Obs_cli
 
 let ppf = Format.std_formatter
 let scale = Suite.scale_of_env ()
@@ -302,14 +306,16 @@ let run_all () =
   List.iter (fun (label, run) -> recorded label run) targets
 
 (* Minimal flag parsing: [-j N], [--jobs N], [--jobs=N], [--retries N],
-   [--timeout S], [--resume], [--strict] anywhere; the first remaining
-   argument is the target. *)
+   [--timeout S], [--trace F], [--metrics F], [--resume], [--strict]
+   anywhere; the first remaining argument is the target. *)
 type options = {
   mutable jobs : int;
   mutable retries : int;
   mutable timeout_s : float option;
   mutable resume : bool;
   mutable strict : bool;
+  mutable trace : string option;
+  mutable metrics : string option;
 }
 
 let parse_argv () =
@@ -320,6 +326,8 @@ let parse_argv () =
       timeout_s = None;
       resume = false;
       strict = false;
+      trace = None;
+      metrics = None;
     }
   in
   let cmd = ref None in
@@ -359,9 +367,17 @@ let parse_argv () =
     | "--timeout" :: v :: rest ->
         set_timeout v;
         go rest
+    | "--trace" :: v :: rest ->
+        opts.trace <- Some v;
+        go rest
+    | "--metrics" :: v :: rest ->
+        opts.metrics <- Some v;
+        go rest
     | [ ("-j" | "--jobs") ] -> bad "jobs" "<missing>"
     | [ "--retries" ] -> bad "retries" "<missing>"
     | [ "--timeout" ] -> bad "timeout" "<missing>"
+    | [ "--trace" ] -> bad "trace" "<missing>"
+    | [ "--metrics" ] -> bad "metrics" "<missing>"
     | "--resume" :: rest ->
         opts.resume <- true;
         go rest
@@ -369,21 +385,24 @@ let parse_argv () =
         opts.strict <- true;
         go rest
     | arg :: rest -> (
-        match
-          ( prefixed ~prefix:"--jobs=" arg,
-            prefixed ~prefix:"--retries=" arg,
-            prefixed ~prefix:"--timeout=" arg )
-        with
-        | Some v, _, _ ->
-            set_jobs v;
-            go rest
-        | _, Some v, _ ->
-            set_retries v;
-            go rest
-        | _, _, Some v ->
-            set_timeout v;
-            go rest
-        | None, None, None ->
+        let assignments =
+          [
+            ("--jobs=", set_jobs);
+            ("--retries=", set_retries);
+            ("--timeout=", set_timeout);
+            ("--trace=", fun v -> opts.trace <- Some v);
+            ("--metrics=", fun v -> opts.metrics <- Some v);
+          ]
+        in
+        let matched =
+          List.find_map
+            (fun (prefix, set) ->
+              Option.map set (prefixed ~prefix arg))
+            assignments
+        in
+        match matched with
+        | Some () -> go rest
+        | None ->
             (match !cmd with
             | None -> cmd := Some arg
             | Some _ ->
@@ -396,6 +415,7 @@ let parse_argv () =
 
 let () =
   let opts, cmd = parse_argv () in
+  Obs_cli.configure ?trace:opts.trace ?metrics:opts.metrics ();
   let journal =
     match Sys.getenv_opt "RATS_JOURNAL" with
     | Some "off" -> None
@@ -442,5 +462,8 @@ let () =
   Option.iter Journal.close journal;
   Report.write !report "BENCH_runtime.json";
   Format.fprintf ppf "(runtime report: BENCH_runtime.json)@.";
+  Obs_cli.finalize ();
+  Option.iter (Format.fprintf ppf "(trace: %s)@.") (Obs_cli.trace_path ());
+  Option.iter (Format.fprintf ppf "(metrics: %s)@.") (Obs_cli.metrics_path ());
   Format.pp_print_flush ppf ();
   if failed > 0 then exit 1

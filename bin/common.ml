@@ -68,6 +68,33 @@ let sample_term =
     value & opt int 0
     & info [ "sample" ] ~docv:"S" ~doc:"Sample index (selects the random seed).")
 
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event file to $(docv) (open in \
+           ui.perfetto.dev). Defaults to $(b,RATS_TRACE) when unset.")
+
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Dump the metrics registry to $(docv) at exit — JSON when $(docv) \
+           ends in .json, Prometheus text otherwise. Defaults to \
+           $(b,RATS_METRICS) when unset.")
+
+(* Runs [f] with tracing/metrics configured from the flags (or the
+   environment) and writes the requested files even when [f] raises or
+   [exit]s — the run's partial trace is usually exactly what one wants to
+   see of a failing run. *)
+let with_obs trace metrics f =
+  Rats_obs.Obs_cli.configure ?trace ?metrics ();
+  Fun.protect ~finally:Rats_obs.Obs_cli.finalize f
+
 let config_term =
   let build kind n_tasks width density regularity jump k sample =
     let spec =

@@ -11,7 +11,8 @@ module Exp = Rats_exp
 module Runtime = Rats_runtime
 
 let run scale cluster mindelta maxdelta minrho packing csv jobs retries timeout
-    resume strict =
+    resume strict trace metrics =
+  Common.with_obs trace metrics @@ fun () ->
   let delta = { Rats_core.Rats.mindelta; maxdelta } in
   let timecost = { Rats_core.Rats.minrho; packing } in
   let jobs =
@@ -133,6 +134,7 @@ let cmd =
     Term.(
       const run $ scale_term $ Common.cluster_term $ mindelta_term
       $ maxdelta_term $ minrho_term $ packing_term $ csv_term $ jobs_term
-      $ retries_term $ timeout_term $ resume_term $ strict_term)
+      $ retries_term $ timeout_term $ resume_term $ strict_term
+      $ Common.trace_term $ Common.metrics_term)
 
 let () = exit (Cmd.eval cmd)

@@ -56,7 +56,9 @@ let report problem strategy alloc gantt svg =
       sim.Core.Evaluate.starts
   end
 
-let run config cluster algo mindelta maxdelta minrho packing gantt svg =
+let run config cluster algo mindelta maxdelta minrho packing gantt svg trace
+    metrics =
+  Common.with_obs trace metrics @@ fun () ->
   let dag = Suite.generate config in
   let problem = Core.Problem.make ~dag ~cluster in
   Format.printf "%s on %s (%a)@." (Suite.name config)
@@ -106,6 +108,6 @@ let cmd =
     Term.(
       const run $ Common.config_term $ Common.cluster_term $ algo_term
       $ mindelta_term $ maxdelta_term $ minrho_term $ packing_term $ gantt_term
-      $ svg_term)
+      $ svg_term $ Common.trace_term $ Common.metrics_term)
 
 let () = exit (Cmd.eval cmd)

@@ -1,4 +1,7 @@
 module Dag = Rats_dag.Dag
+module Metrics = Rats_obs.Metrics
+module Trace = Rats_obs.Trace
+module Instr = Rats_obs.Instr
 
 let bottom_levels problem ~alloc =
   let dag = Problem.dag problem in
@@ -32,6 +35,8 @@ let allocate_capped problem ~cap =
   for i = 0 to Problem.n_tasks problem - 1 do
     if cap i < 1 then invalid_arg "Cpa.allocate_capped: cap below 1"
   done;
+  Trace.span ~cat:"core" "alloc:cpa" (fun () ->
+  let refinements = ref 0 in
   let alloc = Array.make (Problem.n_tasks problem) 1 in
   let continue = ref true in
   while !continue do
@@ -55,11 +60,15 @@ let allocate_capped problem ~cap =
           end)
         path;
       match !best with
-      | Some (i, gain) when gain > 0. -> alloc.(i) <- alloc.(i) + 1
+      | Some (i, gain) when gain > 0. ->
+          alloc.(i) <- alloc.(i) + 1;
+          incr refinements
       | _ -> continue := false
     end
   done;
-  alloc
+  Metrics.incr Instr.alloc_runs;
+  if !refinements > 0 then Metrics.add Instr.alloc_refinements !refinements;
+  alloc)
 
 let allocate_with problem ~max_per_task =
   if max_per_task < 1 then invalid_arg "Cpa.allocate_with: max_per_task < 1";

@@ -22,4 +22,5 @@ let max_per_task problem =
   max 1 (int_of_float (Float.ceil (p /. a)))
 
 let allocate problem =
-  Cpa.allocate_with problem ~max_per_task:(max_per_task problem)
+  Rats_obs.Trace.span ~cat:"core" "alloc:hcpa" (fun () ->
+      Cpa.allocate_with problem ~max_per_task:(max_per_task problem))

@@ -1,5 +1,8 @@
 module Procset = Rats_util.Procset
 module Dag = Rats_dag.Dag
+module Metrics = Rats_obs.Metrics
+module Trace = Rats_obs.Trace
+module Instr = Rats_obs.Instr
 
 type delta_params = { mindelta : float; maxdelta : float }
 type timecost_params = { minrho : float; packing : bool }
@@ -195,9 +198,24 @@ type stats = { stretched : int; packed : int; unchanged : int }
 
 (* --- Main loop (Algorithm 1) -------------------------------------------- *)
 
+(* Publishes one mapping round's decision counts under the strategy's
+   metric names; a pack or stretch is precisely one redistribution
+   eliminated (paper §III: the task reuses a predecessor's processor
+   set). *)
+let publish_stats strategy ~stretched ~packed ~unchanged =
+  let strategy = strategy_name strategy in
+  let bump kind n =
+    if n > 0 then Metrics.add (Instr.map_strategy_counter ~strategy kind) n
+  in
+  bump `Stretched stretched;
+  bump `Packed packed;
+  bump `Unchanged unchanged;
+  bump `Eliminated (stretched + packed)
+
 let schedule_with_stats ?alloc problem strategy =
   check_params strategy;
   let alloc = match alloc with Some a -> a | None -> Hcpa.allocate problem in
+  Trace.span ~cat:"core" ("map:" ^ strategy_name strategy) (fun () ->
   let bl = Cpa.bottom_levels problem ~alloc in
   let st = Mapping.create problem ~alloc in
   let dag = Problem.dag problem in
@@ -239,8 +257,10 @@ let schedule_with_stats ?alloc problem strategy =
       sorted;
     ready := List.rev !next_ready
   done;
+  publish_stats strategy ~stretched:!stretched ~packed:!packed
+    ~unchanged:!unchanged;
   ( Mapping.to_schedule st,
-    { stretched = !stretched; packed = !packed; unchanged = !unchanged } )
+    { stretched = !stretched; packed = !packed; unchanged = !unchanged } ))
 
 let schedule ?alloc problem strategy =
   fst (schedule_with_stats ?alloc problem strategy)

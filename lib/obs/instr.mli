@@ -1,0 +1,68 @@
+(** Instrumentation taxonomy: every metric the RATS stack emits, declared
+    in one place.
+
+    Handles are created at module initialisation, so any binary that links
+    an instrumented layer exposes the full metric set (zero-valued when
+    unused) — consumers like [bin/trace_check] can rely on names being
+    present. The span taxonomy (category → names) is documented in
+    DESIGN.md §6.
+
+    Metric names are Prometheus-style; the strategy dimension is folded
+    into the name ([rats_map_<strategy>_..._total], strategy ∈ {hcpa,
+    delta, time_cost}) to keep the registry label-free. *)
+
+(** {2 Simulator ([Sim.Engine], [Sim.Maxmin])} *)
+
+val sim_runs : Metrics.counter
+val sim_events : Metrics.counter  (** Engine events processed (timers + flow completions). *)
+
+val sim_queue_depth_max : Metrics.gauge  (** High-water mark of the event queue. *)
+
+val maxmin_solves : Metrics.counter
+val maxmin_iterations : Metrics.counter  (** Water-filling rounds across all solves. *)
+
+(** {2 Scheduling ([Core.Cpa]/[Hcpa]/[Rats])} *)
+
+val alloc_runs : Metrics.counter
+val alloc_refinements : Metrics.counter  (** One-processor increments during CPA allocation. *)
+
+val map_strategy_counter :
+  strategy:string -> [ `Packed | `Stretched | `Unchanged | `Eliminated ] -> Metrics.counter
+(** Per-strategy mapping decision counters; [`Eliminated] counts
+    redistributions eliminated (= packs + stretches). [strategy] is a
+    {!val:Rats_core.Rats.strategy_name} result and is sanitised to
+    [a-z0-9_]. *)
+
+(** {2 Runtime ([Pool], [Cache], [Exec]/[Retry])} *)
+
+val pool_tasks : Metrics.counter
+val pool_steals : Metrics.counter
+val pool_workers_max : Metrics.gauge
+
+val cache_hits : Metrics.counter
+val cache_misses : Metrics.counter
+val cache_quarantined : Metrics.counter
+val cache_read_seconds : Metrics.histogram
+val cache_write_seconds : Metrics.histogram
+
+val exec_failed : Metrics.counter
+val exec_retried : Metrics.counter
+val exec_resumed : Metrics.counter
+val exec_timeouts : Metrics.counter
+
+(** {2 Progress (sweep-level, fed by [Runtime.Progress])} *)
+
+val progress_completed : Metrics.counter
+val progress_cache_hits : Metrics.counter
+val progress_failed : Metrics.counter
+val progress_retried : Metrics.counter
+val progress_resumed : Metrics.counter
+
+(** {2 Helpers} *)
+
+val now_s : unit -> float
+(** Monotonic seconds, for latency measurements. *)
+
+val timed : Metrics.histogram -> (unit -> 'a) -> 'a
+(** Runs the thunk and observes its wall-clock duration (also when it
+    raises). *)

@@ -1,0 +1,44 @@
+let trace_dest = ref None
+let metrics_dest = ref None
+
+let resolve arg env_var =
+  let v = match arg with Some _ -> arg | None -> Sys.getenv_opt env_var in
+  match v with Some "" | None -> None | Some _ as p -> p
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let at_exit_registered = ref false
+
+let rec configure ?trace ?metrics () =
+  trace_dest := resolve trace "RATS_TRACE";
+  metrics_dest := resolve metrics "RATS_METRICS";
+  if !trace_dest <> None then Trace.install (Trace.create ());
+  (* [exit 1] paths (failed sweeps) must still flush the files — the trace
+     of a failing run is the one worth looking at. *)
+  if
+    (!trace_dest <> None || !metrics_dest <> None)
+    && not !at_exit_registered
+  then begin
+    at_exit_registered := true;
+    at_exit finalize
+  end
+
+and finalize () =
+  (match (!trace_dest, Trace.installed ()) with
+  | Some path, Some t ->
+      mkdir_p (Filename.dirname path);
+      Trace.write_chrome t path
+  | _ -> ());
+  match !metrics_dest with
+  | Some path ->
+      mkdir_p (Filename.dirname path);
+      if Filename.check_suffix path ".json" then Metrics.write_json path
+      else Metrics.write_prometheus path
+  | None -> ()
+
+let trace_path () = !trace_dest
+let metrics_path () = !metrics_dest

@@ -1,0 +1,25 @@
+(** Shared command-line wiring for tracing and metrics export.
+
+    All three binaries ([bench/main.exe], [bin/experiments.exe],
+    [bin/rats_run.exe]) accept [--trace FILE] / [--metrics FILE]; the
+    [RATS_TRACE] / [RATS_METRICS] environment variables supply the paths
+    when the flags are absent. {!configure} installs the process tracer if
+    a trace is requested; {!finalize} writes the requested files once, at
+    the end of the run. With neither flag nor variable set both calls are
+    no-ops and the nil-sink path stays active. *)
+
+val configure : ?trace:string -> ?metrics:string -> unit -> unit
+(** [configure ?trace ?metrics ()] resolves each destination from the
+    argument first, the environment second ([RATS_TRACE], [RATS_METRICS];
+    empty values disable). Installs a {!Trace} tracer iff a trace path is
+    resolved, and registers {!finalize} with [at_exit] whenever any
+    destination is resolved, so even [exit 1] paths flush the files. *)
+
+val trace_path : unit -> string option
+val metrics_path : unit -> string option
+
+val finalize : unit -> unit
+(** Writes the trace (Chrome JSON) and the metrics snapshot to their
+    configured paths, creating parent directories as needed. The metrics
+    format follows the extension: [.json] → JSON snapshot, anything else →
+    Prometheus text. Idempotent; a second call rewrites the same files. *)

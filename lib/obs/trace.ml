@@ -1,0 +1,163 @@
+type clock = unit -> float
+
+let default_clock () = Int64.to_float (Monotonic_clock.now ()) /. 1e3
+
+type event = {
+  name : string;
+  cat : string;
+  phase : [ `Span | `Instant ];
+  ts : float;
+  dur : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+(* Each domain appends to its own buffer; only the registration of a fresh
+   buffer (once per domain per tracer) takes the mutex, so recording itself
+   never contends. Buffers of finished domains stay registered — their
+   events survive until the flush. *)
+type buffer = { mutable rev_events : event list }
+
+type t = {
+  clock : clock;
+  origin : float;
+  mutex : Mutex.t;
+  mutable buffers : buffer list;
+  mutable key : buffer Domain.DLS.key option;
+}
+
+let create ?(clock = default_clock) () =
+  let t =
+    { clock; origin = clock (); mutex = Mutex.create (); buffers = []; key = None }
+  in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let b = { rev_events = [] } in
+        Mutex.lock t.mutex;
+        t.buffers <- b :: t.buffers;
+        Mutex.unlock t.mutex;
+        b)
+  in
+  t.key <- Some key;
+  t
+
+let buffer t =
+  match t.key with
+  | Some key -> Domain.DLS.get key
+  | None -> assert false (* only reachable during [create] itself *)
+
+let record t ev =
+  let b = buffer t in
+  b.rev_events <- ev :: b.rev_events
+
+let tid () = (Domain.self () :> int)
+
+let eval_args = function None -> [] | Some f -> f ()
+
+let span_on t ?(cat = "app") ?args name f =
+  let t0 = t.clock () -. t.origin in
+  let finish () =
+    let t1 = t.clock () -. t.origin in
+    record t
+      {
+        name;
+        cat;
+        phase = `Span;
+        ts = t0;
+        dur = Float.max 0. (t1 -. t0);
+        tid = tid ();
+        args = eval_args args;
+      }
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let instant_on t ?(cat = "app") ?args name =
+  record t
+    {
+      name;
+      cat;
+      phase = `Instant;
+      ts = t.clock () -. t.origin;
+      dur = 0.;
+      tid = tid ();
+      args = eval_args args;
+    }
+
+(* --- process-global tracer ---------------------------------------------- *)
+
+let current : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set current (Some t)
+let uninstall () = Atomic.set current None
+let installed () = Atomic.get current
+let is_enabled () = Atomic.get current <> None
+
+let span ?cat ?args name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some t -> span_on t ?cat ?args name f
+
+let instant ?cat ?args name =
+  match Atomic.get current with
+  | None -> ()
+  | Some t -> instant_on t ?cat ?args name
+
+(* --- flushing ----------------------------------------------------------- *)
+
+let events t =
+  Mutex.lock t.mutex;
+  let buffers = t.buffers in
+  Mutex.unlock t.mutex;
+  let all = List.concat_map (fun b -> b.rev_events) buffers in
+  (* Ties broken longest-first so an enclosing span sorts before the
+     children recorded at the same timestamp (fake clocks produce these). *)
+  List.sort
+    (fun a b ->
+      match compare a.ts b.ts with 0 -> compare b.dur a.dur | c -> c)
+    all
+
+let json_of_event ev =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num (float_of_int ev.tid));
+      ("ts", Json.Num ev.ts);
+    ]
+  in
+  let phase =
+    match ev.phase with
+    | `Span -> [ ("ph", Json.Str "X"); ("dur", Json.Num ev.dur) ]
+    | `Instant -> [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+  in
+  let args =
+    match ev.args with
+    | [] -> []
+    | l -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) l)) ]
+  in
+  Json.Obj (base @ phase @ args)
+
+let to_chrome_json t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.Arr (List.map json_of_event (events t)));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+let write_chrome t path =
+  let dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:dir "trace" ".tmp"
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json t));
+  Sys.rename tmp path

@@ -1,3 +1,6 @@
+module Metrics = Rats_obs.Metrics
+module Instr = Rats_obs.Instr
+
 type t = {
   dir : string;
   fault : Fault.t option;
@@ -79,6 +82,7 @@ let read_entry file =
    slot becomes writable again either way. *)
 let quarantine t file =
   Atomic.incr t.quarantined;
+  Metrics.incr Instr.cache_quarantined;
   let moved =
     try
       mkdir_p (quarantine_dir t);
@@ -90,22 +94,28 @@ let quarantine t file =
   if not moved then try Sys.remove file with Sys_error _ -> ()
 
 let find t key =
-  let file = path t key in
-  let entry =
-    if Sys.file_exists file then
-      match read_entry file with
-      | Some _ as e -> e
-      | None | (exception _) ->
-          quarantine t file;
-          None
-    else None
-  in
-  (match entry with
-  | Some _ -> Atomic.incr t.hits
-  | None -> Atomic.incr t.misses);
-  entry
+  Instr.timed Instr.cache_read_seconds (fun () ->
+      let file = path t key in
+      let entry =
+        if Sys.file_exists file then
+          match read_entry file with
+          | Some _ as e -> e
+          | None | (exception _) ->
+              quarantine t file;
+              None
+        else None
+      in
+      (match entry with
+      | Some _ ->
+          Atomic.incr t.hits;
+          Metrics.incr Instr.cache_hits
+      | None ->
+          Atomic.incr t.misses;
+          Metrics.incr Instr.cache_misses);
+      entry)
 
 let store t key payload =
+  Instr.timed Instr.cache_write_seconds @@ fun () ->
   (* Injected write faults: [Corrupt] damages the payload after the
      checksum is taken (a torn write the reader must catch and quarantine);
      [Crash] aborts the write mid-entry like a full disk would. *)

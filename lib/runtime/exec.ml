@@ -1,3 +1,7 @@
+module Metrics = Rats_obs.Metrics
+module Trace = Rats_obs.Trace
+module Instr = Rats_obs.Instr
+
 type stats = {
   failed : int Atomic.t;
   retried : int Atomic.t;
@@ -63,11 +67,29 @@ let run_task t ~name f =
     f ()
   in
   let Retry.{ value; attempts } = Retry.run ~policy:t.retry ~name task in
-  if attempts > 1 then
+  if attempts > 1 then begin
     ignore (Atomic.fetch_and_add t.stats.retried (attempts - 1));
+    Metrics.add Instr.exec_retried (attempts - 1);
+    Trace.instant ~cat:"fault"
+      ~args:(fun () ->
+        [ ("task", name); ("attempts", string_of_int attempts) ])
+      "exec:retry"
+  end;
   (match value with
   | Error failure ->
       Atomic.incr t.stats.failed;
+      Metrics.incr Instr.exec_failed;
+      let kind =
+        match failure with
+        | Retry.Timed_out _ ->
+            Metrics.incr Instr.exec_timeouts;
+            "exec:timeout"
+        | Retry.Crashed _ -> "exec:failed"
+      in
+      Trace.instant ~cat:"fault"
+        ~args:(fun () ->
+          [ ("task", name); ("failure", Retry.failure_to_string failure) ])
+        kind;
       if t.strict then raise (Task_failed (name, failure))
   | Ok _ -> ());
   { source = Computed; attempts; value }
@@ -89,6 +111,10 @@ let keyed t ~name ~key ~encode ~decode f =
       match journaled with
       | Some v ->
           Atomic.incr t.stats.resumed;
+          Metrics.incr Instr.exec_resumed;
+          Trace.instant ~cat:"fault"
+            ~args:(fun () -> [ ("task", name) ])
+            "exec:resumed";
           (* Promote into the cache so the next run hits the fast path. *)
           Option.iter (fun c -> Cache.store c key (encode v)) t.cache;
           { source = From_journal; attempts = 1; value = Ok v }
@@ -151,6 +177,7 @@ let map_outcome t ~run l =
                rather than a task fault, but still one slot, not a lost
                sweep. *)
             Atomic.incr t.stats.failed;
+            Metrics.incr Instr.exec_failed;
             {
               source = Computed;
               attempts = 1;

@@ -1,3 +1,7 @@
+module Metrics = Rats_obs.Metrics
+module Trace = Rats_obs.Trace
+module Instr = Rats_obs.Instr
+
 let default_jobs () =
   match Sys.getenv_opt "RATS_JOBS" with
   | Some s -> (
@@ -33,7 +37,11 @@ let rec steal shards =
   else
     let shard = shards.(!best) in
     let i = Atomic.fetch_and_add shard.cursor 1 in
-    if i < shard.hi then Some i else steal shards
+    if i < shard.hi then begin
+      Metrics.incr Instr.pool_steals;
+      Some i
+    end
+    else steal shards
 
 let take shards s =
   let shard = shards.(s) in
@@ -45,6 +53,12 @@ let capture f i x =
   | v -> Ok v
   | exception exn ->
       Error { index = i; exn; backtrace = Printexc.get_backtrace () }
+
+(* Every task execution, serial or pooled, counts toward the pool-task
+   metric and records a busy span on its worker's trace lane. *)
+let traced f =
+  Metrics.incr Instr.pool_tasks;
+  Trace.span ~cat:"pool" "pool:task" f
 
 (* Shared driver. [fail_fast] reproduces the historical [map] contract —
    one raising task makes every worker stop claiming new work and the
@@ -58,9 +72,10 @@ let map_array_capture ?jobs ~fail_fast f input =
     (* Serial fallback. Fail-fast callers want the historical contract —
        the exception escapes at the first raising task, later tasks never
        run — so only the capturing mode wraps. *)
-    if fail_fast then Array.map (fun x -> Ok (f x)) input
-    else Array.mapi (capture f) input
+    if fail_fast then Array.map (fun x -> Ok (traced (fun () -> f x))) input
+    else Array.mapi (fun i x -> traced (fun () -> capture f i x)) input
   else begin
+    Metrics.observe_max Instr.pool_workers_max (float_of_int jobs);
     let results = Array.make n None in
     let failed = Atomic.make false in
     let shards = make_shards n jobs in
@@ -70,14 +85,16 @@ let map_array_capture ?jobs ~fail_fast f input =
           match take shards s with
           | None -> ()
           | Some i ->
-              let r = capture f i input.(i) in
+              let r = traced (fun () -> capture f i input.(i)) in
               (match r with
               | Error _ -> Atomic.set failed true
               | Ok _ -> ());
               results.(i) <- Some r;
               loop ()
       in
-      loop ()
+      Trace.span ~cat:"pool" "pool:worker"
+        ~args:(fun () -> [ ("worker", string_of_int s) ])
+        loop
     in
     let domains = Array.init (jobs - 1) (fun s -> Domain.spawn (worker (s + 1))) in
     worker 0 ();

@@ -1,14 +1,22 @@
+module Metrics = Rats_obs.Metrics
+module Instr = Rats_obs.Instr
+
+(* The counts live in the process-wide metrics registry
+   ([rats_progress_*_total]); a reporter only remembers the counter values
+   at its creation and prints deltas, so its numbers restart at zero for
+   every sweep while the registry keeps the process totals. The mutex
+   serialises printing only — counter updates are atomic. *)
 type t = {
   label : string;
   total : int;
   enabled : bool;
   mutex : Mutex.t;
   start : float;
-  mutable completed : int;
-  mutable cache_hits : int;
-  mutable failed : int;
-  mutable retried : int;
-  mutable resumed : int;
+  base_completed : int;
+  base_hits : int;
+  base_failed : int;
+  base_retried : int;
+  base_resumed : int;
   mutable last_print : float;
 }
 
@@ -22,43 +30,53 @@ let create ?(enabled = true) ~label ~total () =
     enabled;
     mutex = Mutex.create ();
     start = now;
-    completed = 0;
-    cache_hits = 0;
-    failed = 0;
-    retried = 0;
-    resumed = 0;
+    base_completed = Metrics.counter_value Instr.progress_completed;
+    base_hits = Metrics.counter_value Instr.progress_cache_hits;
+    base_failed = Metrics.counter_value Instr.progress_failed;
+    base_retried = Metrics.counter_value Instr.progress_retried;
+    base_resumed = Metrics.counter_value Instr.progress_resumed;
     last_print = now;
   }
 
+let completed t = Metrics.counter_value Instr.progress_completed - t.base_completed
+let cache_hits t = Metrics.counter_value Instr.progress_cache_hits - t.base_hits
+let failed t = Metrics.counter_value Instr.progress_failed - t.base_failed
+let retried t = Metrics.counter_value Instr.progress_retried - t.base_retried
+let resumed t = Metrics.counter_value Instr.progress_resumed - t.base_resumed
+
 let rate t now =
   let dt = now -. t.start in
-  if dt <= 0. then 0. else float_of_int t.completed /. dt
+  if dt <= 0. then 0. else float_of_int (completed t) /. dt
 
 (* The fault counters only appear once nonzero, so a clean run prints the
    exact same lines it always did. *)
 let fault_suffix t =
   let part name n = if n = 0 then "" else Printf.sprintf "  %s %d" name n in
-  part "resumed" t.resumed ^ part "failed" t.failed ^ part "retried" t.retried
+  part "resumed" (resumed t) ^ part "failed" (failed t)
+  ^ part "retried" (retried t)
+
+let hit_pct t =
+  let c = completed t in
+  if c = 0 then 0 else 100 * cache_hits t / c
 
 let print_line t now =
   let r = rate t now in
   let eta =
-    if r <= 0. then "?" else Printf.sprintf "%.0fs" (float_of_int (t.total - t.completed) /. r)
+    if r <= 0. then "?"
+    else Printf.sprintf "%.0fs" (float_of_int (t.total - completed t) /. r)
   in
   Printf.eprintf "[%s] %d/%d  %.1f cfg/s  eta %s  cache-hit %d%%%s\n%!" t.label
-    t.completed t.total r eta
-    (if t.completed = 0 then 0 else 100 * t.cache_hits / t.completed)
-    (fault_suffix t)
+    (completed t) t.total r eta (hit_pct t) (fault_suffix t)
 
 let step ?(cache_hit = false) ?(resumed = false) ?(failed = false)
     ?(retries = 0) t =
   if t.enabled then begin
+    Metrics.incr Instr.progress_completed;
+    if cache_hit then Metrics.incr Instr.progress_cache_hits;
+    if resumed then Metrics.incr Instr.progress_resumed;
+    if failed then Metrics.incr Instr.progress_failed;
+    if retries > 0 then Metrics.add Instr.progress_retried retries;
     Mutex.lock t.mutex;
-    t.completed <- t.completed + 1;
-    if cache_hit then t.cache_hits <- t.cache_hits + 1;
-    if resumed then t.resumed <- t.resumed + 1;
-    if failed then t.failed <- t.failed + 1;
-    t.retried <- t.retried + retries;
     let now = Unix.gettimeofday () in
     if now -. t.last_print >= min_print_interval then begin
       t.last_print <- now;
@@ -73,8 +91,7 @@ let finish t =
     let now = Unix.gettimeofday () in
     Printf.eprintf
       "[%s] %d/%d done in %.1fs  (%.1f cfg/s, cache-hit %d%%%s)\n%!" t.label
-      t.completed t.total (now -. t.start) (rate t now)
-      (if t.completed = 0 then 0 else 100 * t.cache_hits / t.completed)
+      (completed t) t.total (now -. t.start) (rate t now) (hit_pct t)
       (fault_suffix t);
     Mutex.unlock t.mutex
   end

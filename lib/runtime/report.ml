@@ -1,3 +1,10 @@
+module Json = Rats_obs.Json
+
+(* Version history:
+   1 — implicit (no [schema_version] field): targets + cache + faults.
+   2 — adds [schema_version] and the embedded metrics registry snapshot. *)
+let schema_version = 2
+
 type entry = {
   label : string;
   wall_s : float;
@@ -49,6 +56,8 @@ let write t path =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
+    (Printf.sprintf "  \"schema_version\": %d,\n" schema_version);
+  Buffer.add_string buf
     (Printf.sprintf "  \"scale\": %s,\n  \"jobs\": %d,\n" (json_string t.scale)
        t.jobs);
   Buffer.add_string buf
@@ -75,7 +84,14 @@ let write t path =
            e.failed e.retried e.resumed
            (if i = List.length entries - 1 then "" else ",")))
     entries;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  (* The process-wide metrics registry snapshot — the same document the
+     [--metrics] flag writes standalone — so one file carries both the perf
+     trajectory and the run's internal counters. *)
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metrics\": %s\n"
+       (Json.to_string (Rats_obs.Metrics.snapshot ())));
+  Buffer.add_string buf "}\n";
   let dir = Filename.dirname path in
   let tmp, oc =
     Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:dir "report" ".tmp"
@@ -84,3 +100,19 @@ let write t path =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Buffer.output_buffer oc buf);
   Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> Json.parse contents
+
+(* Reports written before [schema_version] existed are version 1. *)
+let version_of json =
+  match Json.member "schema_version" json with
+  | Some v -> ( match Json.to_int v with Some n -> n | None -> 1)
+  | None -> 1

@@ -5,7 +5,14 @@
     retried / resumed configurations) attributed to that target — and
     writes a single JSON document at exit, giving future changes a perf and
     reliability trajectory to compare against. JSON is emitted by hand
-    (flat schema, no dependency). *)
+    (flat schema, no dependency) and read back with {!Rats_obs.Json}.
+
+    Documents carry a [schema_version] field since version 2 (which also
+    embeds the {!Rats_obs.Metrics} registry snapshot under ["metrics"]);
+    readers treat its absence as version 1. *)
+
+val schema_version : int
+(** The version written by {!write}. *)
 
 type entry = {
   label : string;
@@ -41,3 +48,11 @@ val entries : t -> entry list
 val write : t -> string -> unit
 (** Write the JSON document to the given path (atomically, via temp file +
     rename in the same directory). *)
+
+val load : string -> (Rats_obs.Json.t, string) result
+(** Parse a previously written report. Works on any schema version — use
+    {!version_of} to discriminate. *)
+
+val version_of : Rats_obs.Json.t -> int
+(** The document's [schema_version]; documents from before the field
+    existed report 1. *)

@@ -1,5 +1,8 @@
 module Cluster = Rats_platform.Cluster
 module Pqueue = Rats_util.Pqueue
+module Metrics = Rats_obs.Metrics
+module Trace = Rats_obs.Trace
+module Instr = Rats_obs.Instr
 
 type flow = {
   links : int array;
@@ -15,6 +18,12 @@ and t = {
   mutable flows : flow list;  (* active, transferring *)
   mutable rates : (flow * float) list;  (* memoized fair rates *)
   mutable rates_valid : bool;
+  (* Plain (single-domain) observability counters; published to the global
+     metrics registry once per [run] so the hot loop never touches an
+     atomic. *)
+  mutable events_processed : int;
+  mutable max_queue_depth : int;
+  mutable published_events : int;
 }
 
 let create cluster =
@@ -25,6 +34,9 @@ let create cluster =
     flows = [];
     rates = [];
     rates_valid = false;
+    events_processed = 0;
+    max_queue_depth = 0;
+    published_events = 0;
   }
 
 let cluster t = t.cluster
@@ -32,7 +44,9 @@ let now t = t.time
 
 let at t time f =
   if time < t.time -. 1e-12 then invalid_arg "Engine.at: time in the past";
-  Pqueue.push t.events (Float.max time t.time) f
+  Pqueue.push t.events (Float.max time t.time) f;
+  let depth = Pqueue.size t.events in
+  if depth > t.max_queue_depth then t.max_queue_depth <- depth
 
 let after t delay f = at t (t.time +. Float.max 0. delay) f
 
@@ -98,6 +112,7 @@ let advance_to t date =
   if finished <> [] then begin
     t.flows <- List.map fst running;
     t.rates_valid <- false;
+    t.events_processed <- t.events_processed + List.length finished;
     List.iter (fun (f, _) -> f.on_complete t) finished
   end
 
@@ -118,6 +133,7 @@ let step t =
       | Some (d, _) when d <= t.time +. 1e-15 -> (
           match Pqueue.pop t.events with
           | Some (_, f) ->
+              t.events_processed <- t.events_processed + 1;
               f t;
               drain ()
           | None -> ())
@@ -127,11 +143,32 @@ let step t =
     true
   end
 
+let events_processed t = t.events_processed
+let max_queue_depth t = t.max_queue_depth
+
+(* Counter deltas go to the registry in one batch; repeated runs of the
+   same engine publish only what the latest run added. *)
+let publish t =
+  let d = t.events_processed - t.published_events in
+  if d > 0 then Metrics.add Instr.sim_events d;
+  t.published_events <- t.events_processed;
+  Metrics.observe_max Instr.sim_queue_depth_max
+    (float_of_int t.max_queue_depth)
+
 let run t =
-  while step t do
-    ()
-  done;
-  t.time
+  Trace.span ~cat:"sim" "sim:run"
+    ~args:(fun () ->
+      [
+        ("events", string_of_int t.events_processed);
+        ("max_queue_depth", string_of_int t.max_queue_depth);
+      ])
+    (fun () ->
+      while step t do
+        ()
+      done;
+      Metrics.incr Instr.sim_runs;
+      publish t;
+      t.time)
 
 let run_until t date =
   if date < t.time then invalid_arg "Engine.run_until: date in the past";
@@ -148,4 +185,5 @@ let run_until t date =
       continue := false
     end
     else ignore (step t)
-  done
+  done;
+  publish t

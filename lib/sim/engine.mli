@@ -44,3 +44,16 @@ val run : t -> float
 val run_until : t -> float -> unit
 (** Advances simulated time to exactly the given date, processing everything
     scheduled before it. *)
+
+(** {2 Observability}
+
+    Per-engine counters, kept as plain fields (an engine lives on one
+    domain) and published to the {!Rats_obs.Metrics} registry when a run
+    completes ([rats_sim_events_total], [rats_sim_event_queue_depth_max]);
+    {!run} additionally records a ["sim:run"] trace span. *)
+
+val events_processed : t -> int
+(** Events handled so far: drained timer callbacks plus flow completions. *)
+
+val max_queue_depth : t -> int
+(** High-water mark of the pending-event queue. *)

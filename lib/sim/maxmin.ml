@@ -1,3 +1,6 @@
+module Metrics = Rats_obs.Metrics
+module Instr = Rats_obs.Instr
+
 type flow = { links : int array; rate_cap : float }
 
 let solve ~n_links ~capacity flows =
@@ -25,7 +28,9 @@ let solve ~n_links ~capacity flows =
   let active =
     ref (Array.fold_left (fun acc b -> if b then acc else acc + 1) 0 frozen)
   in
+  let rounds = ref 0 in
   while !active > 0 do
+    incr rounds;
     (* Water level increment: the smallest margin before a link saturates or
        a flow reaches its cap. *)
     let level = ref infinity in
@@ -67,6 +72,8 @@ let solve ~n_links ~capacity flows =
       end
     done
   done;
+  Metrics.incr Instr.maxmin_solves;
+  if !rounds > 0 then Metrics.add Instr.maxmin_iterations !rounds;
   rates
 
 let utilization ~n_links flows ~rates l =

@@ -10,7 +10,9 @@
 #                           the smoke test of crash-resumable sweeps
 #   make trace-smoke        cold fig2 run with --trace/--metrics, then validate
 #                           both files and render an SVG timeline
-#   make check              build + tier-1 tests + trace-smoke
+#   make flags-check        diff README's CLI flag table against each binary's
+#                           --help
+#   make check              build + tier-1 tests + trace-smoke + flags-check
 #   make clean-cache        drop the on-disk result cache and journal
 #                           (bench_results/.cache, bench_results/.journal)
 #   make clean              dune clean
@@ -19,7 +21,7 @@ JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
 .PHONY: build test test-fault bench-smoke bench-resume-smoke trace-smoke \
-  check clean-cache clean
+  flags-check check clean-cache clean
 
 build:
 	dune build
@@ -60,9 +62,13 @@ trace-smoke: build
 	  --require-bench-counters --svg bench_results/timeline.svg
 	rm -rf bench_results/.trace-cache
 
+flags-check: build
+	tools/flags_check.sh
+
 check: build
 	dune runtest
 	$(MAKE) trace-smoke
+	$(MAKE) flags-check
 
 clean-cache:
 	rm -rf bench_results/.cache bench_results/.journal

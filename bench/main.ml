@@ -3,7 +3,7 @@
    computational kernels.
 
    Usage: main.exe [-j N|--jobs N] [--retries N] [--timeout S] [--resume]
-                   [--strict] [--trace FILE] [--metrics FILE]
+                   [--strict] [--trace FILE] [--metrics FILE] [-h|--help]
                    [table1|table2|table3|fig2|fig3|fig4|fig5|table4|fig6|
                     fig7|table5|table6|ablations|ccr|autotune|micro|all]
    (default: all)
@@ -318,6 +318,24 @@ type options = {
   mutable metrics : string option;
 }
 
+let usage () =
+  Format.printf
+    "Usage: main.exe [OPTION]… [TARGET]@.@.\
+     Regenerates the paper's tables and figures (default target: all).@.@.\
+     Targets: %s@.@.\
+     Options:@.\
+    \  -j N, --jobs=N    pool workers (default: RATS_JOBS or all cores)@.\
+    \  --retries=N       extra attempts for a failing configuration@.\
+    \  --timeout=SECONDS per-configuration wall-clock budget@.\
+    \  --resume          replay the journal of an interrupted run@.\
+    \  --strict          abort on the first configuration failure@.\
+    \  --trace=FILE      record a Chrome trace-event file (or RATS_TRACE)@.\
+    \  --metrics=FILE    dump the metrics registry at exit (or RATS_METRICS)@.\
+    \  -h, --help        show this message@.@.\
+     Environment: RATS_SCALE=smoke|paper, RATS_JOBS, RATS_CACHE=off,@.\
+     RATS_CACHE_DIR, RATS_FAULT (see Rats_runtime.Fault), RATS_JOURNAL=off.@."
+    (String.concat "|" (List.map fst targets))
+
 let parse_argv () =
   let opts =
     {
@@ -358,6 +376,9 @@ let parse_argv () =
   in
   let rec go = function
     | [] -> ()
+    | ("-h" | "--help") :: _ ->
+        usage ();
+        exit 0
     | ("-j" | "--jobs") :: v :: rest ->
         set_jobs v;
         go rest

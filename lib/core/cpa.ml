@@ -68,6 +68,7 @@ let allocate_capped problem ~cap =
   done;
   Metrics.incr Instr.alloc_runs;
   if !refinements > 0 then Metrics.add Instr.alloc_refinements !refinements;
+  Problem.publish_metrics problem;
   alloc)
 
 let allocate_with problem ~max_per_task =

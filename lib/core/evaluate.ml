@@ -208,6 +208,7 @@ let run ?(work_conserving = true) ?(optimize_placement = true) schedule =
         try_start_on_proc st eng q
       done);
   let final = Engine.run eng in
+  Problem.publish_metrics problem;
   Array.iteri
     (fun i f ->
       if Float.is_nan f then

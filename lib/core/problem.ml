@@ -1,18 +1,32 @@
 module Dag = Rats_dag.Dag
 module Task = Rats_dag.Task
+module Timing = Rats_dag.Timing
 module Cluster = Rats_platform.Cluster
 module Link = Rats_platform.Link
+module Metrics = Rats_obs.Metrics
+module Instr = Rats_obs.Instr
 
 type t = {
   dag : Dag.t;
   cluster : Cluster.t;
   entry : int;
   exit_task : int;
+  timing : Timing.t;  (* T(t,p) for p in [1, n_procs], bit-exact *)
+  (* Plain (single-domain) lookup counter; published as registry deltas at
+     phase boundaries so the hot path never touches an atomic. *)
+  mutable lookups : int;
+  mutable published_lookups : int;
 }
 
 let make ~dag ~cluster =
   match (Dag.entries dag, Dag.exits dag) with
-  | [ entry ], [ exit_task ] -> { dag; cluster; entry; exit_task }
+  | [ entry ], [ exit_task ] ->
+      let timing =
+        Timing.build dag ~speed:cluster.Cluster.speed
+          ~max_procs:(Cluster.n_procs cluster)
+      in
+      { dag; cluster; entry; exit_task; timing;
+        lookups = 0; published_lookups = 0 }
   | _ ->
       invalid_arg
         "Problem.make: DAG must have a single entry and exit \
@@ -26,10 +40,26 @@ let entry p = p.entry
 let exit_task p = p.exit_task
 
 let task_time p i ~procs =
-  Task.time (Dag.task p.dag i) ~speed:p.cluster.Cluster.speed ~procs
+  if procs >= 1 && procs <= Timing.max_procs p.timing then begin
+    p.lookups <- p.lookups + 1;
+    Timing.time p.timing i ~procs
+  end
+  else
+    (* Out-of-table sizes (only reachable through direct API use; the
+       schedulers never allocate beyond the cluster) keep the old path. *)
+    Task.time (Dag.task p.dag i) ~speed:p.cluster.Cluster.speed ~procs
 
 let task_work p i ~procs =
-  Task.work (Dag.task p.dag i) ~speed:p.cluster.Cluster.speed ~procs
+  if procs >= 1 && procs <= Timing.max_procs p.timing then begin
+    p.lookups <- p.lookups + 1;
+    Timing.work p.timing i ~procs
+  end
+  else Task.work (Dag.task p.dag i) ~speed:p.cluster.Cluster.speed ~procs
+
+let publish_metrics p =
+  let d = p.lookups - p.published_lookups in
+  if d > 0 then Metrics.add Instr.timing_lookups d;
+  p.published_lookups <- p.lookups
 
 let edge_cost_estimate p bytes =
   if bytes <= 0. then 0.

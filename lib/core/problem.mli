@@ -12,7 +12,11 @@ type t
 
 val make : dag:Rats_dag.Dag.t -> cluster:Rats_platform.Cluster.t -> t
 (** Raises [Invalid_argument] if the DAG does not have a single entry and a
-    single exit task (apply {!Rats_dag.Dag.ensure_single_entry_exit} first). *)
+    single exit task (apply {!Rats_dag.Dag.ensure_single_entry_exit} first).
+
+    Eagerly precomputes a {!Rats_dag.Timing} table of [T(t, p)] for every
+    task and every [p ∈ \[1, n_procs\]], so {!task_time}/{!task_work} are
+    array lookups — bit-identical to the direct Amdahl computation. *)
 
 val dag : t -> Rats_dag.Dag.t
 val cluster : t -> Rats_platform.Cluster.t
@@ -24,9 +28,17 @@ val entry : t -> int
 val exit_task : t -> int
 
 val task_time : t -> int -> procs:int -> float
-(** [task_time p i ~procs] = Amdahl time of task [i] on [procs] nodes. *)
+(** [task_time p i ~procs] = Amdahl time of task [i] on [procs] nodes.
+    Served from the timing table for [procs ∈ \[1, n_procs\]]; computed
+    directly (same bits) outside that range. *)
 
 val task_work : t -> int -> procs:int -> float
+
+val publish_metrics : t -> unit
+(** Pushes the timing-table lookup count accumulated since the last call to
+    the metrics registry ([Instr.timing_lookups]). Called by the scheduling
+    phases at their ends (CPA allocation, RATS mapping, evaluation), so
+    lookups stay plain field increments in between. *)
 
 val edge_cost_estimate : t -> float -> float
 (** [edge_cost_estimate p bytes]: latency + transfer time of [bytes] through

@@ -259,6 +259,7 @@ let schedule_with_stats ?alloc problem strategy =
   done;
   publish_stats strategy ~stretched:!stretched ~packed:!packed
     ~unchanged:!unchanged;
+  Problem.publish_metrics problem;
   ( Mapping.to_schedule st,
     { stretched = !stretched; packed = !packed; unchanged = !unchanged } ))
 

@@ -1,0 +1,31 @@
+module Metrics = Rats_obs.Metrics
+module Instr = Rats_obs.Instr
+
+type t = {
+  max_procs : int;
+  time : float array;  (* row-major: task i × procs p at [i*max_procs + p-1] *)
+}
+
+let build dag ~speed ~max_procs =
+  if max_procs < 1 then invalid_arg "Timing.build: max_procs < 1";
+  let n = Dag.n_tasks dag in
+  let time = Array.make (n * max_procs) 0. in
+  for i = 0 to n - 1 do
+    let task = Dag.task dag i in
+    let base = i * max_procs in
+    for p = 1 to max_procs do
+      time.(base + p - 1) <- Task.time task ~speed ~procs:p
+    done
+  done;
+  Metrics.incr Instr.timing_tables;
+  if n > 0 then Metrics.add Instr.timing_table_entries (n * max_procs);
+  { max_procs; time }
+
+let max_procs t = t.max_procs
+let n_tasks t = Array.length t.time / t.max_procs
+
+let time t i ~procs =
+  if procs < 1 || procs > t.max_procs then invalid_arg "Timing.time: bad procs";
+  t.time.((i * t.max_procs) + procs - 1)
+
+let work t i ~procs = float_of_int procs *. time t i ~procs

@@ -1,0 +1,30 @@
+(** Memoized moldable-task timing.
+
+    Every scheduling phase asks for Amdahl times [T(t, p)] and work
+    [ω(t, p) = p · T(t, p)] over and over for the same tasks — CPA's
+    refinement loop alone recomputes the critical path once per granted
+    processor. A table precomputes [T(t, p)] for every task and every
+    [p ∈ \[1, max_procs\]] once per (DAG, cluster) pair, so those calls
+    become array reads.
+
+    Entries are produced by calling {!Task.time} itself, and {!work}
+    multiplies exactly like {!Task.work} — table lookups are bit-identical
+    to the direct computations, so memoization cannot change any schedule
+    (asserted by tests/test_dag). Builds bump [Instr.timing_tables] and
+    [Instr.timing_table_entries]. *)
+
+type t
+
+val build : Dag.t -> speed:float -> max_procs:int -> t
+(** Precomputes [n_tasks × max_procs] entries at [speed] flop/s per
+    processor. Raises [Invalid_argument] when [max_procs < 1]. *)
+
+val max_procs : t -> int
+val n_tasks : t -> int
+
+val time : t -> int -> procs:int -> float
+(** [time tbl i ~procs] = [Task.time (task i) ~speed ~procs], bit-exact.
+    Raises [Invalid_argument] when [procs] is outside [\[1, max_procs\]]. *)
+
+val work : t -> int -> procs:int -> float
+(** [work tbl i ~procs] = [Task.work (task i) ~speed ~procs], bit-exact. *)

@@ -17,6 +17,34 @@ let maxmin_iterations =
   Metrics.counter "rats_sim_maxmin_iterations_total"
     ~help:"Water-filling rounds across all max-min solves"
 
+let maxmin_inc_refreshes =
+  Metrics.counter "rats_sim_maxmin_inc_refreshes_total"
+    ~help:"Incremental-solver refreshes that re-solved only dirty components"
+
+let maxmin_full_refreshes =
+  Metrics.counter "rats_sim_maxmin_full_refreshes_total"
+    ~help:"Incremental-solver refreshes that fell back to re-solving every component"
+
+let maxmin_component_solves =
+  Metrics.counter "rats_sim_maxmin_component_solves_total"
+    ~help:"Per-component water-fills run by the incremental solver"
+
+let maxmin_inc_iterations =
+  Metrics.counter "rats_sim_maxmin_inc_iterations_total"
+    ~help:"Water-filling rounds across all incremental component solves"
+
+let maxmin_dirty_flows =
+  Metrics.counter "rats_sim_maxmin_dirty_flows_total"
+    ~help:"Flows re-solved by incremental refreshes (dirty-set sizes summed)"
+
+let maxmin_skipped_flows =
+  Metrics.counter "rats_sim_maxmin_skipped_flows_total"
+    ~help:"Flows whose rates were reused untouched by incremental refreshes"
+
+let maxmin_dirty_set_max =
+  Metrics.gauge "rats_sim_maxmin_dirty_set_max"
+    ~help:"Largest dirty set re-solved by a single incremental refresh"
+
 (* --- scheduling --------------------------------------------------------- *)
 
 let alloc_runs = Metrics.counter "rats_alloc_runs_total" ~help:"CPA/HCPA allocations computed"
@@ -24,6 +52,18 @@ let alloc_runs = Metrics.counter "rats_alloc_runs_total" ~help:"CPA/HCPA allocat
 let alloc_refinements =
   Metrics.counter "rats_alloc_refinements_total"
     ~help:"One-processor refinement steps during CPA allocation"
+
+let timing_tables =
+  Metrics.counter "rats_timing_tables_built_total"
+    ~help:"Moldable-timing tables precomputed (one per Problem)"
+
+let timing_table_entries =
+  Metrics.counter "rats_timing_table_entries_total"
+    ~help:"T(t,p) entries precomputed across all timing tables"
+
+let timing_lookups =
+  Metrics.counter "rats_timing_lookups_total"
+    ~help:"Moldable-timing table lookups (published at phase boundaries)"
 
 let sanitize name =
   String.map

@@ -21,10 +21,37 @@ val sim_queue_depth_max : Metrics.gauge  (** High-water mark of the event queue.
 val maxmin_solves : Metrics.counter
 val maxmin_iterations : Metrics.counter  (** Water-filling rounds across all solves. *)
 
+(** Incremental-solver counters ([Sim.Maxmin.Incremental], batched per
+    engine and published when a run completes, like the engine's own
+    counters). An {e inc} refresh re-solved only the components reachable
+    from changed flows; a {e full} refresh re-solved every component
+    (dirty set above the fallback threshold). [dirty + skipped] flows sum
+    to the flows alive across all refreshes, so
+    [skipped / (dirty + skipped)] is the fraction of rate computations the
+    incremental solver avoided. *)
+
+val maxmin_inc_refreshes : Metrics.counter
+val maxmin_full_refreshes : Metrics.counter
+val maxmin_component_solves : Metrics.counter
+val maxmin_inc_iterations : Metrics.counter
+val maxmin_dirty_flows : Metrics.counter
+val maxmin_skipped_flows : Metrics.counter
+val maxmin_dirty_set_max : Metrics.gauge
+
 (** {2 Scheduling ([Core.Cpa]/[Hcpa]/[Rats])} *)
 
 val alloc_runs : Metrics.counter
 val alloc_refinements : Metrics.counter  (** One-processor increments during CPA allocation. *)
+
+(** Moldable-timing memoization ([Dag.Timing] via [Core.Problem]). Builds
+    and entry counts are bumped when a table is precomputed; lookups are
+    accumulated per problem as plain counters and published in batches at
+    phase boundaries (allocation, mapping and simulation ends), so the
+    hot path never touches an atomic. *)
+
+val timing_tables : Metrics.counter
+val timing_table_entries : Metrics.counter
+val timing_lookups : Metrics.counter
 
 val map_strategy_counter :
   strategy:string -> [ `Packed | `Stretched | `Unchanged | `Eliminated ] -> Metrics.counter

@@ -9,9 +9,11 @@ type t = {
   quarantined : int Atomic.t;
 }
 
-(* v2: receiver-rank placement now falls back to natural order when greedy
-   keeps fewer bytes local, changing simulated makespans for some suites. *)
-let version = "rats-runtime-2"
+(* v3: the engine's incremental max-min solver water-fills per connected
+   component, shifting fair rates (and thus some makespans) by rounding
+   ulps relative to the old whole-set solve. v2: receiver-rank placement
+   now falls back to natural order when greedy keeps fewer bytes local. *)
+let version = "rats-runtime-3"
 
 let default_dir = Filename.concat "bench_results" ".cache"
 

@@ -49,7 +49,8 @@ val run_until : t -> float -> unit
 
     Per-engine counters, kept as plain fields (an engine lives on one
     domain) and published to the {!Rats_obs.Metrics} registry when a run
-    completes ([rats_sim_events_total], [rats_sim_event_queue_depth_max]);
+    completes ([rats_sim_events_total], [rats_sim_event_queue_depth_max],
+    plus the engine's {!Rats_sim.Maxmin.Incremental} solver counters);
     {!run} additionally records a ["sim:run"] trace span. *)
 
 val events_processed : t -> int

@@ -9,7 +9,13 @@
     flow hits its cap) the flows it carries freeze; repeat.
 
     A flow crossing no links and having an infinite cap gets rate
-    [infinity]. *)
+    [infinity].
+
+    {!solve} is the reference implementation — O(rounds × (flows + links))
+    per call, used by tests as an oracle. The simulation engine uses
+    {!Incremental}, which keeps solver state across flow arrivals and
+    departures and re-solves only the affected connected components (see
+    docs/ALGORITHMS.md for invariants and complexity). *)
 
 type flow = {
   links : int array;  (** Indices of the links the flow crosses. *)
@@ -26,3 +32,63 @@ val utilization :
   n_links:int -> flow array -> rates:float array -> int -> float
 (** [utilization ~n_links flows ~rates l] is the total rate crossing link
     [l] — handy for asserting feasibility in tests. *)
+
+(** Incremental max-min solver.
+
+    Holds the live flow set and its rate vector across [add]/[remove]
+    calls; [refresh] brings the rates up to date by re-solving only the
+    connected components (of the flow–link sharing graph) reachable from a
+    changed flow, falling back to re-solving every component when the dirty
+    set exceeds [full_threshold × live flows].
+
+    The rate vector is a {e pure function of the alive flow set}: any
+    sequence of adds and removes reaching the same set yields bit-identical
+    rates (each component's water-fill performs the same float operations
+    in the same order as {!solve} run on that component alone). Against
+    {!solve} on the whole flow set the rates agree to ~1e-9 relative — the
+    global algorithm interleaves level increments across components, a
+    different float summation order. *)
+module Incremental : sig
+  type t
+
+  type handle = int
+  (** Identifies a live flow; invalid after {!remove}. *)
+
+  val create :
+    ?full_threshold:float -> n_links:int -> capacity:(int -> float) -> unit -> t
+  (** A solver for a fixed set of links. [capacity] is sampled once, at
+      creation. [full_threshold] (default [0.5]) is the dirty-set fraction
+      above which {!refresh} re-solves everything; [0.] forces a full
+      re-solve on every refresh (useful to test the fallback path). *)
+
+  val add : t -> links:int array -> rate_cap:float -> handle
+  (** Registers a flow. Validation matches {!solve}: raises
+      [Invalid_argument] on a non-positive cap, out-of-range link or
+      non-positive link capacity. The new flow's rate (and its component's)
+      is stale until the next {!refresh}. *)
+
+  val remove : t -> handle -> unit
+  (** Unregisters a flow. Raises [Invalid_argument] on a dead handle. *)
+
+  val refresh : t -> unit
+  (** Re-solves every component containing a flow added or removed since
+      the previous refresh. No-op when nothing changed. Raises
+      [Invalid_argument "Maxmin.Incremental: unbounded flow"] if a
+      component has no finite constraint (cannot happen when every link
+      capacity is finite). *)
+
+  val rate : t -> handle -> float
+  (** The flow's rate as of the last {!refresh} ([add] of a linkless flow
+      sets its final rate immediately). *)
+
+  val n_flows : t -> int
+  (** Live flows currently registered. *)
+
+  val publish : t -> unit
+  (** Pushes counter deltas since the last publish to the metrics registry
+      ([Instr.maxmin_inc_refreshes], [..._full_refreshes],
+      [..._component_solves], [..._inc_iterations], [..._dirty_flows],
+      [..._skipped_flows]) and folds this solver's largest dirty set into
+      the [Instr.maxmin_dirty_set_max] gauge. Counters are kept as plain
+      ints in between — the hot path never touches an atomic. *)
+end

@@ -102,6 +102,24 @@ let test_problem_costs () =
   checkf "edge estimate" (1e-4 +. (8e6 /. 1.25e8)) (Problem.edge_cost_estimate p 8e6);
   checkf "zero bytes free" 0. (Problem.edge_cost_estimate p 0.)
 
+let test_problem_timing_table () =
+  (* Problem serves T(t,p)/ω(t,p) from its memoized table; the values must
+     be bit-identical to the direct Amdahl computation, inside the table's
+     range and beyond it (direct fallback). *)
+  let p = chain_problem () in
+  let speed = Cluster.chti.Cluster.speed in
+  let ok = ref true in
+  for i = 0 to Problem.n_tasks p - 1 do
+    let task = Dag.task (Problem.dag p) i in
+    for procs = 1 to Problem.n_procs p + 2 do
+      if
+        Problem.task_time p i ~procs <> Task.time task ~speed ~procs
+        || Problem.task_work p i ~procs <> Task.work task ~speed ~procs
+      then ok := false
+    done
+  done;
+  Alcotest.(check bool) "bit-identical to Task.time/work" true !ok
+
 let test_problem_entry_exit () =
   let p = chain_problem () in
   check Alcotest.int "entry" 0 (Problem.entry p);
@@ -720,6 +738,7 @@ let () =
         [
           Alcotest.test_case "validation" `Quick test_problem_validation;
           Alcotest.test_case "costs" `Quick test_problem_costs;
+          Alcotest.test_case "timing table" `Quick test_problem_timing_table;
           Alcotest.test_case "entry/exit" `Quick test_problem_entry_exit;
         ] );
       ( "allocation",

@@ -301,6 +301,47 @@ let qcheck_metrics_consistency =
       && m.Metrics.max_width >= 1
       && m.Metrics.width_cv >= 0.)
 
+(* --- Timing tables --------------------------------------------------------- *)
+
+module Timing = Rats_dag.Timing
+
+let test_timing_validation () =
+  let dag = diamond () in
+  Alcotest.check_raises "bad max_procs"
+    (Invalid_argument "Timing.build: max_procs < 1") (fun () ->
+      ignore (Timing.build dag ~speed ~max_procs:0));
+  let tbl = Timing.build dag ~speed ~max_procs:4 in
+  check Alcotest.int "max procs" 4 (Timing.max_procs tbl);
+  check Alcotest.int "tasks" 4 (Timing.n_tasks tbl);
+  Alcotest.check_raises "procs above table"
+    (Invalid_argument "Timing.time: bad procs") (fun () ->
+      ignore (Timing.time tbl 0 ~procs:5))
+
+let qcheck_timing_bit_exact =
+  QCheck.Test.make ~count:100
+    ~name:"timing table entries are bit-identical to Task.time/work"
+    QCheck.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let b = Dag.Builder.create () in
+      for i = 0 to n - 1 do
+        Dag.Builder.add_task b (Task.random rng ~id:i ~name:(string_of_int i))
+      done;
+      let dag = Dag.Builder.build b in
+      let max_procs = 1 + Rng.int rng 64 in
+      let tbl = Timing.build dag ~speed ~max_procs in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let task = Dag.task dag i in
+        for p = 1 to max_procs do
+          if
+            Timing.time tbl i ~procs:p <> Task.time task ~speed ~procs:p
+            || Timing.work tbl i ~procs:p <> Task.work task ~speed ~procs:p
+          then ok := false
+        done
+      done;
+      !ok)
+
 let () =
   Alcotest.run "rats_dag"
     [
@@ -351,5 +392,10 @@ let () =
           Alcotest.test_case "chain parallelism" `Quick
             test_metrics_chain_parallelism;
           qcheck qcheck_metrics_consistency;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "validation" `Quick test_timing_validation;
+          qcheck qcheck_timing_bit_exact;
         ] );
     ]

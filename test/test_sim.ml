@@ -130,6 +130,164 @@ let qcheck_maxmin_saturated =
              at_cap || Array.exists saturated f.Maxmin.links)
            flows))
 
+(* --- Incremental Maxmin --------------------------------------------------- *)
+
+module Inc = Maxmin.Incremental
+
+let inc_create ?full_threshold () =
+  Inc.create ?full_threshold ~n_links:10 ~capacity:(fun _ -> 50.) ()
+
+(* Random op sequences over the incremental solver. [`Remove k] removes the
+   [k mod alive]-th live flow; [`Refresh] forces a mid-sequence solve so
+   both the incremental and the fallback paths get exercised. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (1 -- 60)
+      (frequency
+         [
+           ( 3,
+             map
+               (fun (ls, cap) -> `Add (List.sort_uniq compare ls, cap))
+               (pair (list_size (0 -- 4) (int_bound 9)) (float_range 1. 1000.))
+           );
+           (2, map (fun k -> `Remove k) (int_bound 100));
+           (1, return `Refresh);
+         ]))
+
+let pp_op = function
+  | `Add (ls, cap) ->
+      Printf.sprintf "add[%s]@%g" (String.concat ";" (List.map string_of_int ls)) cap
+  | `Remove k -> Printf.sprintf "rm%d" k
+  | `Refresh -> "refresh"
+
+let random_ops =
+  QCheck.make ops_gen ~print:(fun ops -> String.concat " " (List.map pp_op ops))
+
+(* Replay [ops] on [inc]; returns the live (handle, flow) list, newest
+   first. A final refresh is always applied. *)
+let run_ops inc ops =
+  let alive = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | `Add (ls, cap) ->
+          let links = Array.of_list ls in
+          let h = Inc.add inc ~links ~rate_cap:cap in
+          alive := (h, { Maxmin.links; rate_cap = cap }) :: !alive
+      | `Remove k -> (
+          match !alive with
+          | [] -> ()
+          | l ->
+              let k = k mod List.length l in
+              Inc.remove inc (fst (List.nth l k));
+              alive := List.filteri (fun i _ -> i <> k) l)
+      | `Refresh -> Inc.refresh inc)
+    ops;
+  Inc.refresh inc;
+  !alive
+
+let same_float a b = (Float.is_nan a && Float.is_nan b) || a = b
+
+let qcheck_inc_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"incremental matches reference oracle"
+    random_ops
+    (fun ops ->
+      let inc = inc_create () in
+      let alive = run_ops inc ops in
+      let flows = Array.of_list (List.map snd alive) in
+      let expected = Maxmin.solve ~n_links:10 ~capacity:(fun _ -> 50.) flows in
+      List.for_all2
+        (fun (h, _) exp ->
+          let got = Inc.rate inc h in
+          if exp = infinity then got = infinity
+          else Float.abs (got -. exp) <= 1e-7 *. Float.max 1. (Float.abs exp))
+        alive (Array.to_list expected))
+
+let qcheck_inc_path_independent =
+  QCheck.Test.make ~count:300
+    ~name:"incremental rates are a pure function of the flow set" random_ops
+    (fun ops ->
+      let inc = inc_create () in
+      let alive = run_ops inc ops in
+      (* Re-add the surviving flows to a fresh solver: bit-identical rates
+         must come out, however the first solver got there. *)
+      let fresh = inc_create () in
+      let readded =
+        List.map
+          (fun (h, f) ->
+            (h, Inc.add fresh ~links:f.Maxmin.links ~rate_cap:f.Maxmin.rate_cap))
+          alive
+      in
+      Inc.refresh fresh;
+      List.for_all
+        (fun (h, h') -> same_float (Inc.rate inc h) (Inc.rate fresh h'))
+        readded)
+
+let qcheck_inc_threshold_equivalent =
+  QCheck.Test.make ~count:300
+    ~name:"always-full fallback gives bit-identical rates" random_ops
+    (fun ops ->
+      (* threshold 0. re-solves every component on each refresh; default
+         re-solves only dirty ones. Identical per-component arithmetic
+         means identical rates after every replayed op. *)
+      let inc = inc_create () in
+      let full = inc_create ~full_threshold:0. () in
+      let alive = run_ops inc ops in
+      let alive_full = run_ops full ops in
+      List.for_all2
+        (fun (h, _) (h', _) -> same_float (Inc.rate inc h) (Inc.rate full h'))
+        alive alive_full)
+
+let test_inc_basics () =
+  let inc = inc_create () in
+  let a = Inc.add inc ~links:[| 0 |] ~rate_cap:infinity in
+  Inc.refresh inc;
+  checkf "full capacity" 50. (Inc.rate inc a);
+  let b = Inc.add inc ~links:[| 0 |] ~rate_cap:infinity in
+  Inc.refresh inc;
+  checkf "half (a)" 25. (Inc.rate inc a);
+  checkf "half (b)" 25. (Inc.rate inc b);
+  Inc.remove inc b;
+  Inc.refresh inc;
+  checkf "back to full" 50. (Inc.rate inc a);
+  Alcotest.(check int) "one live flow" 1 (Inc.n_flows inc)
+
+let test_inc_untouched_component_stable () =
+  (* Flows on disjoint links: adding to one component must not disturb the
+     other (its rates are reused verbatim, not recomputed). *)
+  let inc = inc_create () in
+  let a = Inc.add inc ~links:[| 0 |] ~rate_cap:infinity in
+  let b = Inc.add inc ~links:[| 1 |] ~rate_cap:7. in
+  Inc.refresh inc;
+  let ra = Inc.rate inc a and rb = Inc.rate inc b in
+  let c = Inc.add inc ~links:[| 2; 3 |] ~rate_cap:infinity in
+  Inc.refresh inc;
+  Alcotest.(check bool) "a untouched" true (same_float ra (Inc.rate inc a));
+  Alcotest.(check bool) "b untouched" true (same_float rb (Inc.rate inc b));
+  checkf "c solved" 50. (Inc.rate inc c)
+
+let test_inc_linkless () =
+  let inc = inc_create () in
+  let free = Inc.add inc ~links:[||] ~rate_cap:infinity in
+  let capped = Inc.add inc ~links:[||] ~rate_cap:42. in
+  (* Linkless rates are final immediately, no refresh needed. *)
+  checkf "infinite" infinity (Inc.rate inc free);
+  checkf "cap, exactly" 42. (Inc.rate inc capped)
+
+let test_inc_validation () =
+  let inc = inc_create () in
+  Alcotest.check_raises "bad link"
+    (Invalid_argument "Maxmin.Incremental.add: bad link") (fun () ->
+      ignore (Inc.add inc ~links:[| 10 |] ~rate_cap:infinity));
+  Alcotest.check_raises "bad cap"
+    (Invalid_argument "Maxmin.Incremental.add: non-positive cap") (fun () ->
+      ignore (Inc.add inc ~links:[| 0 |] ~rate_cap:0.));
+  let h = Inc.add inc ~links:[| 0 |] ~rate_cap:1. in
+  Inc.remove inc h;
+  Alcotest.check_raises "dead handle"
+    (Invalid_argument "Maxmin.Incremental.remove: dead handle") (fun () ->
+      Inc.remove inc h)
+
 (* --- Engine -------------------------------------------------------------- *)
 
 let flat4 =
@@ -396,6 +554,17 @@ let () =
           Alcotest.test_case "utilization" `Quick test_maxmin_utilization;
           qcheck qcheck_maxmin_feasible;
           qcheck qcheck_maxmin_saturated;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "add/remove basics" `Quick test_inc_basics;
+          Alcotest.test_case "untouched component stable" `Quick
+            test_inc_untouched_component_stable;
+          Alcotest.test_case "linkless flows" `Quick test_inc_linkless;
+          Alcotest.test_case "validation" `Quick test_inc_validation;
+          qcheck qcheck_inc_matches_reference;
+          qcheck qcheck_inc_path_independent;
+          qcheck qcheck_inc_threshold_equivalent;
         ] );
       ( "engine",
         [

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Diff README.md's consolidated CLI flag table against each binary's --help.
+#
+# Two directions:
+#   1. every (flag, binary) cell in the table must match reality: a flag
+#      marked ✓ must appear in that binary's --help, a flag marked — must
+#      not;
+#   2. every option of bench/main.exe must have a table row (bench carries
+#      exactly the shared runtime/observability flag set, so a flag added
+#      there without a table edit fails the check).
+#
+# Binaries are expected to be built already (make check builds first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+readme=README.md
+fail=0
+
+bench_help=$(dune exec --no-build bench/main.exe -- --help 2>&1)
+exp_help=$(dune exec --no-build bin/experiments.exe -- --help=plain 2>&1)
+run_help=$(dune exec --no-build bin/rats_run.exe -- --help=plain 2>&1)
+
+# Flag table rows: lines between the markers that start with '| `'.
+rows=$(sed -n '/flags-check:begin/,/flags-check:end/p' "$readme" | grep '^| `' || true)
+if [ -z "$rows" ]; then
+    echo "flags-check: no flag table found between flags-check markers in $readme" >&2
+    exit 1
+fi
+
+has_flag() { # $1 = help text, $2 = long flag (e.g. --jobs)
+    printf '%s\n' "$1" | grep -qE -- "(^|[^-A-Za-z0-9])$2([^-A-Za-z0-9]|$)"
+}
+
+check_cell() { # $1 = flag, $2 = mark, $3 = binary name, $4 = help text
+    local flag=$1 mark=$2 name=$3 help=$4
+    case "$mark" in
+        *✓*)
+            if ! has_flag "$help" "$flag"; then
+                echo "flags-check: README claims $name supports $flag, but its --help does not mention it" >&2
+                fail=1
+            fi ;;
+        *)
+            if has_flag "$help" "$flag"; then
+                echo "flags-check: $name's --help mentions $flag, but README marks it unsupported" >&2
+                fail=1
+            fi ;;
+    esac
+}
+
+table_flags=""
+while IFS='|' read -r _ cell bench exp run _rest; do
+    # First long flag named in the row's flag cell.
+    flag=$(printf '%s' "$cell" | grep -oE -- '--[a-z][a-z-]*' | head -n1)
+    [ -z "$flag" ] && continue
+    table_flags="$table_flags $flag"
+    check_cell "$flag" "$bench" "bench/main.exe" "$bench_help"
+    check_cell "$flag" "$exp" "bin/experiments.exe" "$exp_help"
+    check_cell "$flag" "$run" "bin/rats_run.exe" "$run_help"
+done <<EOF
+$rows
+EOF
+
+# Reverse direction: every bench option must be documented in the table.
+for flag in $(printf '%s\n' "$bench_help" | grep -oE -- '--[a-z][a-z-]*' | sort -u); do
+    case " $table_flags " in
+        *" $flag "*) ;;
+        *)
+            echo "flags-check: bench/main.exe --help lists $flag, but the README flag table has no row for it" >&2
+            fail=1 ;;
+    esac
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "flags-check: FAILED — update the table in $readme (flags-check markers) or the binary" >&2
+    exit 1
+fi
+echo "flags-check: README flag table matches all three binaries' --help"

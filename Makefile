@@ -12,7 +12,13 @@
 #                           both files and render an SVG timeline
 #   make flags-check        diff README's CLI flag table against each binary's
 #                           --help
-#   make check              build + tier-1 tests + trace-smoke + flags-check
+#   make lint               rats_lint static analysis (determinism & hygiene
+#                           rules, docs/LINTING.md); JSON report lands in
+#                           bench_results/lint.json
+#   make salt-check         warn when lib/{sim,core,dag,redist} changed
+#                           without a Cache.version bump (STRICT=1 to fail)
+#   make check              build + tier-1 tests + lint + trace-smoke +
+#                           flags-check + advisory salt-check
 #   make clean-cache        drop the on-disk result cache and journal
 #                           (bench_results/.cache, bench_results/.journal)
 #   make clean              dune clean
@@ -21,7 +27,7 @@ JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
 .PHONY: build test test-fault bench-smoke bench-resume-smoke trace-smoke \
-  flags-check check clean-cache clean
+  flags-check lint salt-check check clean-cache clean
 
 build:
 	dune build
@@ -65,10 +71,20 @@ trace-smoke: build
 flags-check: build
 	tools/flags_check.sh
 
+lint: build
+	dune exec --no-build bin/lint.exe -- --json bench_results/lint.json
+
+# Advisory by default (comment-only edits to the salted dirs are legal);
+# STRICT=1 turns a violation into a failure.
+salt-check:
+	tools/salt_check.sh $(if $(STRICT),--strict,)
+
 check: build
 	dune runtest
+	$(MAKE) lint
 	$(MAKE) trace-smoke
 	$(MAKE) flags-check
+	$(MAKE) salt-check
 
 clean-cache:
 	rm -rf bench_results/.cache bench_results/.journal

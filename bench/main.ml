@@ -36,6 +36,7 @@ module Journal = Rats_runtime.Journal
 module Retry = Rats_runtime.Retry
 module Report = Rats_runtime.Report
 module Obs_cli = Rats_obs.Obs_cli
+module Instr = Rats_obs.Instr
 
 let ppf = Format.std_formatter
 let scale = Suite.scale_of_env ()
@@ -56,9 +57,9 @@ let section title =
   Format.fprintf ppf "@.=== %s ===@." title
 
 let timed label f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Instr.now_s () in
   let r = f () in
-  Format.fprintf ppf "(%s computed in %.1fs)@." label (Unix.gettimeofday () -. t0);
+  Format.fprintf ppf "(%s computed in %.1fs)@." label (Instr.now_s () -. t0);
   r
 
 (* Wall time, cache and fault-counter deltas of one executed bench target,
@@ -75,12 +76,12 @@ let recorded label f =
   in
   let hits0, misses0 = cache_counters () in
   let failed0, retried0, resumed0 = stat_counters () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Instr.now_s () in
   let r = f () in
   let hits1, misses1 = cache_counters () in
   let failed1, retried1, resumed1 = stat_counters () in
   Report.record !report ~label
-    ~wall_s:(Unix.gettimeofday () -. t0)
+    ~wall_s:(Instr.now_s () -. t0)
     ~cache_hits:(hits1 - hits0) ~cache_misses:(misses1 - misses0)
     ~failed:(failed1 - failed0) ~retried:(retried1 - retried0)
     ~resumed:(resumed1 - resumed0) ();
@@ -270,15 +271,16 @@ let run_micro () =
   in
   let raw = Benchmark.all cfg [ instance ] (micro_tests ()) in
   let results = Analyze.all ols instance raw in
-  Hashtbl.iter
-    (fun name ols_result ->
-      let ns =
-        match Analyze.OLS.estimates ols_result with
-        | Some (t :: _) -> t
-        | _ -> nan
-      in
-      Format.fprintf ppf "  %-28s %12.1f ns/run@." name ns)
-    results
+  (* Name-sorted so the report order never depends on hash layout. *)
+  Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols_result) ->
+         let ns =
+           match Analyze.OLS.estimates ols_result with
+           | Some (t :: _) -> t
+           | _ -> nan
+         in
+         Format.fprintf ppf "  %-28s %12.1f ns/run@." name ns)
 
 let targets =
   [

@@ -1,0 +1,159 @@
+module Json = Rats_obs.Json
+
+type report = {
+  root : string;
+  files : string list;
+  findings : Finding.t list;
+  suppressed : Finding.t list;
+  allows : Allow.t list;
+}
+
+let default_dirs = [ "bench"; "bin"; "lib"; "test" ]
+let skip_dir_names = [ "_build"; ".git"; "lint_fixtures" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let split_lines src = Array.of_list (String.split_on_char '\n' src)
+
+let finding_of rule (loc : Location.t) message ~file =
+  {
+    Finding.rule_id = rule.Rule.id;
+    severity = rule.Rule.severity;
+    file;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    message;
+  }
+
+let parse_structure ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception Syntaxerr.Error err ->
+      Error (Syntaxerr.location_of_error err, "syntax error")
+  | exception Lexer.Error (_, loc) -> Error (loc, "lexer error")
+
+let lint_file ~root file =
+  let src = read_file (Filename.concat root file) in
+  let lines = split_lines src in
+  let raw = ref [] in
+  let allows = ref (Allow.scan_comments ~file lines) in
+  (match parse_structure ~file src with
+  | Error (loc, what) ->
+      let rule = Option.get (Rules.by_id "E001") in
+      raw := [ finding_of rule loc (what ^ " — file cannot be analyzed") ~file ]
+  | Ok structure ->
+      let cb =
+        {
+          Rules.finding =
+            (fun rule loc message ->
+              if Rule.applies rule ~path:file then
+                raw := finding_of rule loc message ~file :: !raw);
+          allow =
+            (fun ~line ~span ~source spec ->
+              let rules, reason = Allow.parse_spec spec in
+              if rules <> [] then
+                allows :=
+                  { Allow.file; line; span; rules; reason; source }
+                  :: !allows);
+        }
+      in
+      Rules.check_structure ~lines cb structure);
+  let allows = List.sort Allow.compare !allows in
+  (* A001: a suppression is only acceptable with a written justification. *)
+  let a001 = Option.get (Rules.by_id "A001") in
+  let unjustified =
+    List.filter_map
+      (fun (a : Allow.t) ->
+        match a.reason with
+        | Some _ -> None
+        | None ->
+            Some
+              {
+                Finding.rule_id = a001.Rule.id;
+                severity = a001.Rule.severity;
+                file;
+                line = a.line;
+                col = 0;
+                message =
+                  Printf.sprintf
+                    "suppression of %s has no written justification — add one \
+                     after a dash"
+                    (String.concat ", " a.rules);
+              })
+      allows
+  in
+  let all = List.sort_uniq Finding.compare (unjustified @ !raw) in
+  let suppressed, findings =
+    List.partition
+      (fun (f : Finding.t) ->
+        List.exists
+          (fun a -> Allow.covers a ~rule_id:f.rule_id ~line:f.line)
+          allows)
+      all
+  in
+  { root; files = [ file ]; findings; suppressed; allows }
+
+let rec walk root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  let entries = Sys.readdir abs in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc name ->
+      if List.mem name skip_dir_names then acc
+      else
+        let rel' = if rel = "" then name else rel ^ "/" ^ name in
+        let abs' = Filename.concat root rel' in
+        if Sys.is_directory abs' then walk root rel' acc
+        else if Filename.check_suffix name ".ml" then rel' :: acc
+        else acc)
+    acc entries
+
+let lint_tree ?(dirs = default_dirs) ~root () =
+  let files =
+    match dirs with
+    | [] -> walk root "" []
+    | dirs ->
+        List.fold_left
+          (fun acc dir ->
+            let abs = Filename.concat root dir in
+            if Sys.file_exists abs && Sys.is_directory abs then
+              walk root dir acc
+            else acc)
+          [] dirs
+  in
+  let files = List.sort String.compare files in
+  let reports = List.map (lint_file ~root) files in
+  {
+    root;
+    files;
+    findings =
+      List.sort Finding.compare (List.concat_map (fun r -> r.findings) reports);
+    suppressed =
+      List.sort Finding.compare
+        (List.concat_map (fun r -> r.suppressed) reports);
+    allows =
+      List.sort Allow.compare (List.concat_map (fun r -> r.allows) reports);
+  }
+
+let render_list to_human items =
+  String.concat "" (List.map (fun x -> to_human x ^ "\n") items)
+
+let render t = render_list Finding.to_human t.findings
+let render_allows t = render_list Allow.to_human t.allows
+
+let to_json t =
+  Json.Obj
+    [
+      ("tool", Json.Str "rats_lint");
+      ("root", Json.Str t.root);
+      ("files_scanned", Json.Num (float_of_int (List.length t.files)));
+      ("findings", Json.Arr (List.map Finding.to_json t.findings));
+      ("suppressed", Json.Arr (List.map Finding.to_json t.suppressed));
+      ("allows", Json.Arr (List.map Allow.to_json t.allows));
+    ]

@@ -1,0 +1,36 @@
+module Json = Rats_obs.Json
+
+type t = {
+  rule_id : string;
+  severity : Rule.severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule_id b.rule_id
+
+let to_human t =
+  Printf.sprintf "%s:%d:%d: %s %s: %s" t.file t.line t.col t.rule_id
+    (Rule.severity_to_string t.severity)
+    t.message
+
+let to_json t =
+  Json.Obj
+    [
+      ("rule", Json.Str t.rule_id);
+      ("severity", Json.Str (Rule.severity_to_string t.severity));
+      ("file", Json.Str t.file);
+      ("line", Json.Num (float_of_int t.line));
+      ("col", Json.Num (float_of_int t.col));
+      ("message", Json.Str t.message);
+    ]

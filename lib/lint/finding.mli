@@ -1,0 +1,20 @@
+(** One analyzer finding: a rule violation anchored to [file:line:col].
+
+    Findings order stably by (file, line, col, rule id), so the human
+    rendering is byte-identical across runs — it is golden-tested. *)
+
+type t = {
+  rule_id : string;
+  severity : Rule.severity;
+  file : string;  (** Repo-relative, ['/']-separated. *)
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based, matching compiler diagnostics. *)
+  message : string;
+}
+
+val compare : t -> t -> int
+
+val to_human : t -> string
+(** [file:line:col: ID severity: message] — one line, no newline. *)
+
+val to_json : t -> Rats_obs.Json.t

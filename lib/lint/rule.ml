@@ -1,0 +1,21 @@
+type severity = Error | Warning
+
+type t = {
+  id : string;
+  severity : severity;
+  title : string;
+  rationale : string;
+  include_dirs : string list;
+  exclude_dirs : string list;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let has_prefix path p =
+  String.length path >= String.length p && String.sub path 0 (String.length p) = p
+
+let applies t ~path =
+  (match t.include_dirs with
+  | [] -> true
+  | dirs -> List.exists (has_prefix path) dirs)
+  && not (List.exists (has_prefix path) t.exclude_dirs)

@@ -1,0 +1,26 @@
+(** Rule identity, severity and scope for the rats_lint analyzer.
+
+    A rule carries everything the engine needs besides its detection
+    logic (which lives in [Rules]): a stable id ([D001], [H002], ...),
+    a severity, a one-line title used in findings, and a path scope.
+    Scopes are directory-prefix globs over repo-relative paths with
+    ['/'] separators: a rule applies to a file when the path starts
+    with one of [include_dirs] (or the list is empty) and with none of
+    [exclude_dirs]. *)
+
+type severity = Error | Warning
+
+type t = {
+  id : string;
+  severity : severity;
+  title : string;  (** One line, embedded in every finding. *)
+  rationale : string;  (** Why the rule exists; surfaced in [--rules]. *)
+  include_dirs : string list;  (** Path prefixes; [[]] means everywhere. *)
+  exclude_dirs : string list;
+}
+
+val severity_to_string : severity -> string
+
+val applies : t -> path:string -> bool
+(** [applies rule ~path] — [path] must be repo-relative and
+    ['/']-separated, e.g. ["lib/sim/engine.ml"]. *)

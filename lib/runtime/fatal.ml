@@ -1,0 +1,3 @@
+let recoverable = function
+  | Out_of_memory | Stack_overflow | Sys.Break -> false
+  | _ -> true

@@ -1,0 +1,15 @@
+(** Classify exceptions the runtime may absorb.
+
+    The retry loop and the worker pool turn a raising task into a
+    structured failure (captured, retried, reported). That contract must
+    not extend to conditions that indicate the whole process is doomed:
+    absorbing [Out_of_memory] or [Stack_overflow] as a "task failure"
+    retries work the process cannot complete, and absorbing [Sys.Break]
+    eats the user's Ctrl-C. Handlers in [lib/runtime] therefore guard
+    their catch-alls with [when Fatal.recoverable e] — the lint rule H001
+    flags any that don't — so fatal exceptions propagate and kill the
+    run. *)
+
+val recoverable : exn -> bool
+(** [false] exactly for [Out_of_memory], [Stack_overflow] and
+    [Sys.Break]. *)

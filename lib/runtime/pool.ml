@@ -51,7 +51,7 @@ let take shards s =
 let capture f i x =
   match f x with
   | v -> Ok v
-  | exception exn ->
+  | exception exn when Fatal.recoverable exn ->
       Error { index = i; exn; backtrace = Printexc.get_backtrace () }
 
 (* Every task execution, serial or pooled, counts toward the pool-task

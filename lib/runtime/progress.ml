@@ -23,7 +23,7 @@ type t = {
 let min_print_interval = 0.5
 
 let create ?(enabled = true) ~label ~total () =
-  let now = Unix.gettimeofday () in
+  let now = Instr.now_s () in
   {
     label;
     total;
@@ -77,7 +77,7 @@ let step ?(cache_hit = false) ?(resumed = false) ?(failed = false)
     if failed then Metrics.incr Instr.progress_failed;
     if retries > 0 then Metrics.add Instr.progress_retried retries;
     Mutex.lock t.mutex;
-    let now = Unix.gettimeofday () in
+    let now = Instr.now_s () in
     if now -. t.last_print >= min_print_interval then begin
       t.last_print <- now;
       print_line t now
@@ -88,7 +88,7 @@ let step ?(cache_hit = false) ?(resumed = false) ?(failed = false)
 let finish t =
   if t.enabled then begin
     Mutex.lock t.mutex;
-    let now = Unix.gettimeofday () in
+    let now = Instr.now_s () in
     Printf.eprintf
       "[%s] %d/%d done in %.1fs  (%.1f cfg/s, cache-hit %d%%%s)\n%!" t.label
       (completed t) t.total (now -. t.start) (rate t now) (hit_pct t)

@@ -41,7 +41,7 @@ let jitter_unit ~name ~attempt =
    is discarded via the [Atomic.t] it alone writes. *)
 let attempt_with_timeout ~timeout_s f =
   let slot = Atomic.make None in
-  let runner = Thread.create (fun () -> Atomic.set slot (Some (try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())))) () in
+  let runner = Thread.create (fun () -> Atomic.set slot (Some (try Ok (f ()) with e when Fatal.recoverable e -> Error (e, Printexc.get_raw_backtrace ())))) () in
   let deadline = now_s () +. timeout_s in
   let rec wait () =
     match Atomic.get slot with
@@ -64,7 +64,8 @@ let run ?(policy = default) ~name f =
       | None -> (
           match f ~attempt with
           | v -> `Done (Ok v)
-          | exception e -> `Done (Error (e, Printexc.get_raw_backtrace ())))
+          | exception e when Fatal.recoverable e ->
+              `Done (Error (e, Printexc.get_raw_backtrace ())))
       | Some timeout_s -> attempt_with_timeout ~timeout_s (fun () -> f ~attempt)
     in
     match result with

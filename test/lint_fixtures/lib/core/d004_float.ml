@@ -1,0 +1,8 @@
+(* D004 fixture: polymorphic comparison on float operands, evidenced by a
+   literal or an annotation. Parsed by rats_lint's tests, never compiled. *)
+
+let positive x = max 1.0 x
+
+let suppressed x y = compare (x : float) y (* lint: allow D004 — fixture: operands are NaN-free by construction *)
+
+let negative x y = Float.max x y

@@ -1,0 +1,5 @@
+(* A001 fixture: a suppression without a written justification still
+   suppresses its target but is itself reported. Parsed by rats_lint's
+   tests, never compiled. *)
+
+let suppressed tbl = Hashtbl.iter (fun _ v -> ignore v) tbl (* lint: allow D001 *)

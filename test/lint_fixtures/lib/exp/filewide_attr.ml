@@ -1,0 +1,8 @@
+(* File-wide suppression fixture: a floating [@@@lint.allow] covers every
+   matching finding in the file. Parsed by rats_lint's tests, never
+   compiled. *)
+
+[@@@lint.allow "D002 — fixture: whole-file sandbox for clock experiments"]
+
+let a () = Unix.gettimeofday ()
+let b () = Unix.time ()

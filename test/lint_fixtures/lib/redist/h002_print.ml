@@ -1,0 +1,8 @@
+(* H002 fixture: direct stdout print in library code. Parsed by
+   rats_lint's tests, never compiled. *)
+
+let positive x = print_endline x
+
+let suppressed x = Printf.printf "%s" x (* lint: allow H002 — fixture: demo of a sanctioned CLI helper *)
+
+let negative ppf x = Format.fprintf ppf "%s" x

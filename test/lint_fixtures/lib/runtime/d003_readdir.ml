@@ -1,0 +1,11 @@
+(* D003 fixture: unsorted directory listing. The negative case shows the
+   sort-nearby heuristic. Parsed by rats_lint's tests, never compiled. *)
+
+let positive dir = Array.to_list (Sys.readdir dir)
+
+let suppressed dir = Sys.readdir dir (* lint: allow D003 — fixture: order handled downstream *)
+
+let negative dir =
+  let entries = Sys.readdir dir in
+  Array.sort String.compare entries;
+  entries

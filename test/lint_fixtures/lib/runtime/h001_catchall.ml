@@ -1,0 +1,11 @@
+(* H001 fixture: catch-all exception handlers in runtime code. The guarded
+   and constructor-matching cases are negative. Parsed by rats_lint's
+   tests, never compiled. *)
+
+let positive f = try f () with _ -> None
+
+let suppressed f = try f () with _ -> None (* lint: allow H001 — fixture: caller re-raises from the captured error *)
+
+let negative_specific f = try f () with Not_found -> None
+
+let negative_guarded f = try f () with e when e <> Exit -> Some e

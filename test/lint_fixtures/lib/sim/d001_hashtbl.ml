@@ -1,0 +1,8 @@
+(* D001 fixture: unordered hash traversal in a result-producing library.
+   Parsed by rats_lint's tests, never compiled. *)
+
+let positive tbl = Hashtbl.iter (fun _ v -> ignore v) tbl
+
+let suppressed tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] (* lint: allow D001 — fixture: caller sorts the folded list *)
+
+let negative tbl = Hashtbl.length tbl

@@ -1,0 +1,2 @@
+(* E001 fixture: deliberately unparseable. *)
+let broken = (

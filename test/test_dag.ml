@@ -6,7 +6,7 @@ module Rng = Rats_util.Rng
 
 let check = Alcotest.check
 let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
-let qcheck t = QCheck_alcotest.to_alcotest t
+let qcheck t = Rats_test_support.Seeded.to_alcotest t
 
 let contains haystack needle =
   let nl = String.length needle and hl = String.length haystack in

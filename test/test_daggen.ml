@@ -10,7 +10,7 @@ module Task = Rats_dag.Task
 module Rng = Rats_util.Rng
 
 let check = Alcotest.check
-let qcheck t = QCheck_alcotest.to_alcotest t
+let qcheck t = Rats_test_support.Seeded.to_alcotest t
 
 (* --- Shape --------------------------------------------------------------- *)
 

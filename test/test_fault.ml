@@ -22,7 +22,8 @@ let fresh_dir =
 
 let rec rm_rf path =
   if Sys.is_directory path then begin
-    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Array.iter (fun f -> rm_rf (Filename.concat path f))
+      (Sys.readdir path) (* lint: allow D003 — deletion order is irrelevant *);
     Sys.rmdir path
   end
   else Sys.remove path

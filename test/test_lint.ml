@@ -1,0 +1,162 @@
+(* Tests for rats_lint: every fixture violation is reported with the
+   right file:line (golden output), suppressions work and are audited,
+   the JSON report parses back, and — the actual point of the tool —
+   the repo's own tree lints clean. *)
+
+module Engine = Rats_lint.Engine
+module Rules = Rats_lint.Rules
+module Finding = Rats_lint.Finding
+module Allow = Rats_lint.Allow
+module Json = Rats_obs.Json
+
+let check = Alcotest.check
+
+(* dune runtest runs in _build/default/test where the (source_tree) dep
+   lands; dune exec from the repo root sees it under test/. *)
+let fixture_root =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else "test/lint_fixtures"
+
+let fixture_report = lazy (Engine.lint_tree ~dirs:[ "lib" ] ~root:fixture_root ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The repo root is the nearest ancestor holding dune-project; under dune
+   runtest that is _build/default, which mirrors every source file. *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let rule_ids findings =
+  List.sort_uniq String.compare
+    (List.map (fun f -> f.Finding.rule_id) findings)
+
+let test_golden () =
+  let expected = read_file (Filename.concat fixture_root "expected.txt") in
+  check Alcotest.string "fixture findings (golden)" expected
+    (Engine.render (Lazy.force fixture_report))
+
+let test_every_rule_fires () =
+  let r = Lazy.force fixture_report in
+  check
+    Alcotest.(list string)
+    "one unsuppressed positive per rule"
+    [ "A001"; "D001"; "D002"; "D003"; "D004"; "E001"; "H001"; "H002" ]
+    (rule_ids r.findings)
+
+let test_every_rule_suppressible () =
+  let r = Lazy.force fixture_report in
+  check
+    Alcotest.(list string)
+    "one suppressed case per catalogue rule"
+    [ "D001"; "D002"; "D003"; "D004"; "H001"; "H002" ]
+    (rule_ids r.suppressed)
+
+let test_unjustified_allow_is_listed () =
+  let r = Lazy.force fixture_report in
+  let unjustified =
+    List.filter (fun (a : Allow.t) -> a.reason = None) r.allows
+  in
+  check Alcotest.int "exactly the A001 fixture lacks a reason" 1
+    (List.length unjustified);
+  (* ... and the A001 finding anchors to that allow's line. *)
+  let a = List.hd unjustified in
+  check Alcotest.bool "A001 finding on the allow's line" true
+    (List.exists
+       (fun f ->
+         f.Finding.rule_id = "A001" && f.Finding.file = a.Allow.file
+         && f.Finding.line = a.Allow.line)
+       r.findings)
+
+let test_json_parse_back () =
+  let r = Lazy.force fixture_report in
+  match Json.parse (Json.to_string (Engine.to_json r)) with
+  | Error e -> Alcotest.failf "report JSON does not parse: %s" e
+  | Ok j ->
+      let len key =
+        match Option.bind (Json.member key j) Json.to_list with
+        | Some l -> List.length l
+        | None -> Alcotest.failf "missing %s array" key
+      in
+      check Alcotest.int "findings round-trip" (List.length r.findings)
+        (len "findings");
+      check Alcotest.int "suppressed round-trip" (List.length r.suppressed)
+        (len "suppressed");
+      check Alcotest.int "allows round-trip" (List.length r.allows)
+        (len "allows");
+      check
+        Alcotest.(option int)
+        "files_scanned round-trip"
+        (Some (List.length r.files))
+        (Option.bind (Json.member "files_scanned" j) Json.to_int)
+
+let test_catalogue_sorted_and_scoped () =
+  let ids = List.map (fun r -> r.Rats_lint.Rule.id) Rules.catalogue in
+  check Alcotest.(list string) "catalogue is id-sorted"
+    (List.sort String.compare ids) ids;
+  (* D002 must not fire inside the observability layer itself. *)
+  let d002 = Option.get (Rules.by_id "D002") in
+  check Alcotest.bool "D002 exempts lib/obs" false
+    (Rats_lint.Rule.applies d002 ~path:"lib/obs/instr.ml");
+  check Alcotest.bool "D002 covers lib/runtime" true
+    (Rats_lint.Rule.applies d002 ~path:"lib/runtime/progress.ml")
+
+let test_repo_tree_clean () =
+  match repo_root () with
+  | None -> Alcotest.fail "cannot locate repo root (no dune-project upward)"
+  | Some root ->
+      let r = Engine.lint_tree ~root () in
+      check Alcotest.bool "scanned a real tree" true
+        (List.length r.files > 50);
+      check
+        Alcotest.(list string)
+        "repo tree lints clean" []
+        (List.map Finding.to_human r.findings)
+
+let test_repo_allows_justified () =
+  match repo_root () with
+  | None -> Alcotest.fail "cannot locate repo root (no dune-project upward)"
+  | Some root ->
+      let r = Engine.lint_tree ~root () in
+      check
+        Alcotest.(list string)
+        "every repo suppression carries a justification" []
+        (List.filter_map
+           (fun (a : Allow.t) ->
+             if a.reason = None then Some (Allow.to_human a) else None)
+           r.allows)
+
+let () =
+  Alcotest.run "rats_lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "golden findings" `Quick test_golden;
+          Alcotest.test_case "every rule fires" `Quick test_every_rule_fires;
+          Alcotest.test_case "every rule suppressible" `Quick
+            test_every_rule_suppressible;
+          Alcotest.test_case "unjustified allow reported" `Quick
+            test_unjustified_allow_is_listed;
+          Alcotest.test_case "json parse-back" `Quick test_json_parse_back;
+        ] );
+      ( "catalogue",
+        [
+          Alcotest.test_case "sorted and scoped" `Quick
+            test_catalogue_sorted_and_scoped;
+        ] );
+      ( "repo",
+        [
+          Alcotest.test_case "tree lints clean" `Quick test_repo_tree_clean;
+          Alcotest.test_case "allows justified" `Quick
+            test_repo_allows_justified;
+        ] );
+    ]

@@ -11,7 +11,7 @@ module Procset = Rats_util.Procset
 module Cluster = Rats_platform.Cluster
 module Core = Rats_core
 
-let qcheck t = QCheck_alcotest.to_alcotest t
+let qcheck t = Rats_test_support.Seeded.to_alcotest t
 
 let random_dag seed n =
   let shape = Shape.make ~width:0.5 ~regularity:0.5 ~density:0.5 ~jump:2 () in

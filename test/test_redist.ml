@@ -9,7 +9,7 @@ module Cluster = Rats_platform.Cluster
 module Topology = Rats_platform.Topology
 
 let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
-let qcheck t = QCheck_alcotest.to_alcotest t
+let qcheck t = Rats_test_support.Seeded.to_alcotest t
 
 (* --- Block --------------------------------------------------------------- *)
 

@@ -21,7 +21,8 @@ let fresh_cache_dir =
 
 let rec rm_rf path =
   if Sys.is_directory path then begin
-    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Array.iter (fun f -> rm_rf (Filename.concat path f))
+      (Sys.readdir path) (* lint: allow D003 — deletion order is irrelevant *);
     Sys.rmdir path
   end
   else Sys.remove path
@@ -140,7 +141,7 @@ let test_cache_corrupt_write_quarantine () =
       check Alcotest.int "torn entry quarantined" 1 (Cache.quarantined cache);
       check Alcotest.bool "quarantine dir holds the evidence" true
         (Sys.file_exists (Cache.quarantine_dir cache)
-        && Sys.readdir (Cache.quarantine_dir cache) <> [||]);
+        && Sys.readdir (Cache.quarantine_dir cache) <> [||] (* lint: allow D003 — only emptiness is checked *));
       (* A clean cache on the same directory can reuse the slot. *)
       let clean = Cache.create ~dir () in
       Cache.store clean key "recomputed";
@@ -166,7 +167,7 @@ let test_cache_crash_write_is_noop () =
       check Alcotest.bool "no temp litter" true
         (Array.for_all
            (fun f -> f = "quarantine")
-           (Sys.readdir dir)))
+           (Sys.readdir dir) (* lint: allow D003 — order-insensitive for_all *)))
 
 (* A cache directory that cannot be created (nested under a regular file —
    chmod is useless when tests run as root) degrades to misses and no-op
@@ -230,5 +231,5 @@ let () =
             test_cache_runner_integration;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_pool_map_order ] );
+        [ Rats_test_support.Seeded.to_alcotest prop_pool_map_order ] );
     ]

@@ -10,7 +10,7 @@ let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
 let checkf_rel msg expected actual =
   Alcotest.check (Alcotest.float (1e-6 *. Float.max 1. (Float.abs expected)))
     msg expected actual
-let qcheck t = QCheck_alcotest.to_alcotest t
+let qcheck t = Rats_test_support.Seeded.to_alcotest t
 
 let flow links rate_cap = { Maxmin.links = Array.of_list links; rate_cap }
 

@@ -8,7 +8,7 @@ module Units = Rats_util.Units
 
 let check = Alcotest.check
 let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
-let qcheck t = QCheck_alcotest.to_alcotest t
+let qcheck t = Rats_test_support.Seeded.to_alcotest t
 
 (* --- Rng ----------------------------------------------------------------- *)
 

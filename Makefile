@@ -10,6 +10,9 @@
 #                           the smoke test of crash-resumable sweeps
 #   make trace-smoke        cold fig2 run with --trace/--metrics, then validate
 #                           both files and render an SVG timeline
+#   make server-smoke       ratsd end-to-end: live socket session, kill -9 +
+#                           journal resume (bit-exact event log), selftest
+#                           load driver
 #   make flags-check        diff README's CLI flag table against each binary's
 #                           --help
 #   make lint               rats_lint static analysis (determinism & hygiene
@@ -18,7 +21,7 @@
 #   make salt-check         warn when lib/{sim,core,dag,redist} changed
 #                           without a Cache.version bump (STRICT=1 to fail)
 #   make check              build + tier-1 tests + lint + trace-smoke +
-#                           flags-check + advisory salt-check
+#                           server-smoke + flags-check + advisory salt-check
 #   make clean-cache        drop the on-disk result cache and journal
 #                           (bench_results/.cache, bench_results/.journal)
 #   make clean              dune clean
@@ -27,7 +30,7 @@ JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
 .PHONY: build test test-fault bench-smoke bench-resume-smoke trace-smoke \
-  flags-check lint salt-check check clean-cache clean
+  server-smoke flags-check lint salt-check check clean-cache clean
 
 build:
 	dune build
@@ -68,6 +71,13 @@ trace-smoke: build
 	  --require-bench-counters --svg bench_results/timeline.svg
 	rm -rf bench_results/.trace-cache
 
+# Service acceptance: live daemon/client session over the socket, kill -9 +
+# --resume replays the submission journal to a bit-identical event log, and
+# the selftest load driver pushes 120 jobs from 4 tenants through both
+# strategies with a byte-level determinism check.
+server-smoke: build
+	tools/server_smoke.sh
+
 flags-check: build
 	tools/flags_check.sh
 
@@ -83,6 +93,7 @@ check: build
 	dune runtest
 	$(MAKE) lint
 	$(MAKE) trace-smoke
+	$(MAKE) server-smoke
 	$(MAKE) flags-check
 	$(MAKE) salt-check
 

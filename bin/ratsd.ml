@@ -1,0 +1,362 @@
+(* ratsd: the online scheduler-as-a-service daemon.
+
+   Serves the Server.Engine over a Unix-domain socket speaking
+   Server.Protocol (length-prefixed JSON frames): clients submit DAGs,
+   subscribe to the event stream, trigger drains and read the log. The
+   daemon is single-threaded by design — admission, dispatch and the
+   shared simulation run inside the select loop, so the event log is a
+   deterministic function of the accepted submissions, which the journal
+   makes crash-recoverable (--resume).
+
+   Examples:
+     dune exec bin/ratsd.exe -- --socket /tmp/ratsd.sock &
+     dune exec bin/ratsd.exe -- --selftest --load-jobs 200 --tenants 8
+     dune exec bin/ratsd.exe -- --resume --journal myrun *)
+
+open Cmdliner
+module Server = Rats_server
+module Engine = Rats_server.Engine
+module Protocol = Rats_server.Protocol
+module Load = Rats_server.Load
+module Journal = Rats_runtime.Journal
+module Stats = Rats_util.Stats
+module Core = Rats_core
+module J = Rats_obs.Json
+
+(* --- service statistics as JSON ----------------------------------------- *)
+
+let num x = J.Num x
+let int n = J.Num (float_of_int n)
+
+let stats_json (s : Engine.stats) =
+  J.Obj
+    [
+      ("submitted", int s.Engine.submitted);
+      ("admitted", int s.Engine.admitted);
+      ("rejected", int s.Engine.rejected);
+      ("completed", int s.Engine.completed);
+      ("queue_depth_max", int s.Engine.queue_depth_max);
+      ("busy_time", num s.Engine.busy_time);
+      ("end_time", num s.Engine.end_time);
+      ("utilization", num s.Engine.utilization);
+      ("sojourn_p50", num (Stats.percentile s.Engine.sojourns 50.));
+      ("sojourn_p99", num (Stats.percentile s.Engine.sojourns 99.));
+    ]
+
+(* --- connection handling ------------------------------------------------- *)
+
+type client = {
+  fd : Unix.file_descr;
+  decoder : Protocol.Decoder.t;
+  mutable watching : bool;
+  mutable alive : bool;
+}
+
+let send client msg =
+  if client.alive then begin
+    let frame = Protocol.to_frame (Protocol.server_to_json msg) in
+    let n = String.length frame in
+    let pos = ref 0 in
+    try
+      while !pos < n do
+        pos := !pos + Unix.write_substring client.fd frame !pos (n - !pos)
+      done
+    with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> client.alive <- false
+  end
+
+let handle_msg engine client stop = function
+  | Protocol.Ping -> send client Protocol.Pong
+  | Protocol.Watch ->
+      client.watching <- true;
+      send client Protocol.Watching
+  | Protocol.Plan request -> (
+      let cluster = Engine.cluster engine in
+      match
+        Server.Api.validate
+          ~n_procs:(Rats_platform.Cluster.n_procs cluster)
+          request
+      with
+      | Error e -> send client (Protocol.Err e)
+      | Ok k ->
+          let share = Server.Api.subcluster cluster k in
+          let schedule = Server.Api.plan ~cluster:share request in
+          let response =
+            Server.Api.response_of_schedule
+              ~job_name:(Server.Api.spec_name request.Server.Api.job)
+              ~strategy:(Core.Rats.strategy_name request.Server.Api.strategy)
+              schedule
+          in
+          send client
+            (Protocol.Placed (Server.Api.response_to_json response)))
+  | Protocol.Submit { at; request } -> (
+      match Engine.submit engine ?at request with
+      | Ok id -> send client (Protocol.Ack { id })
+      | Error e -> send client (Protocol.Err e))
+  | Protocol.Drain ->
+      let end_time = Engine.drain engine in
+      send client (Protocol.Drained { end_time })
+  | Protocol.Log -> send client (Protocol.Log (Engine.events engine))
+  | Protocol.Stats ->
+      send client (Protocol.Stats (stats_json (Engine.stats engine)))
+  | Protocol.Shutdown ->
+      send client Protocol.Bye;
+      stop := true
+
+let drain_frames engine client stop =
+  let rec go () =
+    match Protocol.Decoder.next client.decoder with
+    | Ok None -> ()
+    | Ok (Some doc) ->
+        (match Protocol.client_of_json doc with
+        | Ok msg -> handle_msg engine client stop msg
+        | Error e -> send client (Protocol.Err e));
+        if not !stop then go ()
+    | Error e ->
+        send client (Protocol.Err ("protocol error: " ^ e));
+        client.alive <- false
+  in
+  go ()
+
+let serve engine socket_path =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX socket_path);
+  Unix.listen lfd 64;
+  Format.printf "ratsd: listening on %s@." socket_path;
+  let clients = ref [] in
+  (* Events stream synchronously to every watcher, including during a
+     drain triggered by another connection. *)
+  Engine.subscribe engine (fun ev ->
+      List.iter
+        (fun c -> if c.watching then send c (Protocol.Event ev))
+        !clients);
+  let stop = ref false in
+  let buf = Bytes.create 65536 in
+  while not !stop do
+    let fds =
+      lfd :: List.filter_map (fun c -> if c.alive then Some c.fd else None) !clients
+    in
+    (match Unix.select fds [] [] (-1.) with
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = lfd then begin
+              let cfd, _ = Unix.accept lfd in
+              clients :=
+                !clients
+                @ [
+                    {
+                      fd = cfd;
+                      decoder = Protocol.Decoder.create ();
+                      watching = false;
+                      alive = true;
+                    };
+                  ]
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd) !clients with
+              | None -> ()
+              | Some client -> (
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> client.alive <- false
+                  | n ->
+                      Protocol.Decoder.feed client.decoder buf 0 n;
+                      drain_frames engine client stop
+                  | exception Unix.Unix_error (ECONNRESET, _, _) ->
+                      client.alive <- false))
+          readable
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    clients :=
+      List.filter
+        (fun c ->
+          if c.alive then true
+          else begin
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            false
+          end)
+        !clients
+  done;
+  List.iter
+    (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !clients;
+  Unix.close lfd;
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+
+(* --- selftest: simulated-time load driver -------------------------------- *)
+
+let run_profile config profile =
+  let engine = Engine.create config in
+  let report = Load.run engine profile in
+  let log =
+    String.concat "\n"
+      (List.map
+         (fun ev -> J.to_string (Server.Api.stamped_to_json ev))
+         (Engine.events engine))
+  in
+  (report, log)
+
+let selftest cluster policy jobs load_jobs tenants rate seed =
+  let config =
+    { (Engine.default_config cluster) with Engine.policy; jobs }
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun strategy ->
+      let profile =
+        {
+          (Load.default_profile cluster) with
+          Load.n_jobs = load_jobs;
+          n_tenants = tenants;
+          rate;
+          seed;
+          strategy;
+        }
+      in
+      let name = Core.Rats.strategy_name strategy in
+      Format.printf "@.=== %s: %d jobs, %d tenants, %.3f jobs/s ===@." name
+        load_jobs tenants rate;
+      let report, log1 = run_profile config profile in
+      let _, log2 = run_profile config profile in
+      Format.printf "%a@." Load.pp_report report;
+      if log1 <> log2 then begin
+        incr failures;
+        Format.printf "FAIL: %s event log differs between identical runs@."
+          name
+      end
+      else
+        Format.printf "determinism: %d events, re-run byte-identical@."
+          (List.length (String.split_on_char '\n' log1));
+      if report.Load.completed + report.Load.rejected <> report.Load.jobs
+      then begin
+        incr failures;
+        Format.printf "FAIL: %s lost jobs (%d submitted, %d completed, %d \
+                       rejected)@."
+          name report.Load.jobs report.Load.completed report.Load.rejected
+      end)
+    [ Core.Rats.Baseline; Core.Rats.Delta Core.Rats.naive_delta ];
+  if !failures > 0 then begin
+    Format.printf "@.selftest: %d failure(s)@." !failures;
+    exit 1
+  end;
+  Format.printf "@.selftest: OK@."
+
+(* --- command line -------------------------------------------------------- *)
+
+let run cluster socket selftest_flag queue_limit tenant_limit jobs journal_name
+    journal_dir resume load_jobs tenants rate seed trace metrics =
+  Common.with_obs trace metrics @@ fun () ->
+  let policy =
+    Rats_server.Admission.make ~queue_limit ~tenant_limit
+  in
+  let jobs = if jobs = 0 then None else Some jobs in
+  if selftest_flag then selftest cluster policy jobs load_jobs tenants rate seed
+  else begin
+    let journal =
+      Journal.open_ ?dir:journal_dir ~name:journal_name ~resume ()
+    in
+    let config =
+      { (Engine.default_config cluster) with Engine.policy; jobs }
+    in
+    let engine = Engine.create ~journal config in
+    if resume then begin
+      let n = Engine.resume engine in
+      Format.printf "ratsd: resumed %d journaled submission(s)@." n
+    end;
+    Fun.protect
+      ~finally:(fun () -> Journal.close journal)
+      (fun () -> serve engine socket)
+  end
+
+let socket_term =
+  Arg.(
+    value
+    & opt string "/tmp/ratsd.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "RATS_SOCKET")
+        ~doc:"Unix-domain socket to listen on.")
+
+let selftest_term =
+  Arg.(
+    value & flag
+    & info [ "selftest" ]
+        ~doc:
+          "Run the simulated-time load driver instead of serving: Poisson \
+           arrivals from several tenants under both HCPA and RATS, with a \
+           byte-identical re-run determinism check. Exits non-zero on any \
+           failure.")
+
+let queue_limit_term =
+  Arg.(
+    value & opt int 256
+    & info [ "queue-limit" ] ~docv:"N"
+        ~doc:"Admission: reject when the waiting queue holds $(docv) jobs.")
+
+let tenant_limit_term =
+  Arg.(
+    value & opt int 64
+    & info [ "tenant-limit" ] ~docv:"N"
+        ~doc:
+          "Admission: reject a tenant with $(docv) jobs queued or running.")
+
+let jobs_term =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for batch schedule computation; 0 = automatic. \
+           Never affects results.")
+
+let journal_term =
+  Arg.(
+    value & opt string "ratsd"
+    & info [ "journal" ] ~docv:"NAME"
+        ~doc:"Journal name for crash-recoverable submissions.")
+
+let journal_dir_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal-dir" ] ~docv:"DIR"
+        ~doc:"Journal directory (default: bench_results/.journal).")
+
+let resume_term =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Reload the journaled submissions of a previous run before \
+           serving; a subsequent drain replays them bit-exactly.")
+
+let load_jobs_term =
+  Arg.(
+    value & opt int 120
+    & info [ "load-jobs" ] ~docv:"N" ~doc:"Selftest: total jobs to submit.")
+
+let tenants_term =
+  Arg.(
+    value & opt int 4
+    & info [ "tenants" ] ~docv:"N" ~doc:"Selftest: number of tenants.")
+
+let rate_term =
+  Arg.(
+    value & opt float 0.05
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Selftest: aggregate arrival rate, jobs per simulated second.")
+
+let seed_term =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"S" ~doc:"Selftest: arrival-trace random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ratsd"
+       ~doc:"Online RATS scheduling service over a Unix-domain socket")
+    Term.(
+      const run $ Common.cluster_term $ socket_term $ selftest_term
+      $ queue_limit_term $ tenant_limit_term $ jobs_term $ journal_term
+      $ journal_dir_term $ resume_term $ load_jobs_term $ tenants_term
+      $ rate_term $ seed_term $ Common.trace_term $ Common.metrics_term)
+
+let () = exit (Cmd.eval cmd)

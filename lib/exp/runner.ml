@@ -69,9 +69,12 @@ let decode_result ~config ~cluster payload =
 (* --- execution ---------------------------------------------------------- *)
 
 let compute_config ~delta ~timecost cluster config =
-  let dag = Suite.generate config in
-  let problem = Core.Problem.make ~dag ~cluster in
-  let alloc = Core.Hcpa.allocate problem in
+  (* Same pipeline as the online service (Server.Api): DAG generation,
+     problem construction, HCPA allocation — bit-identical to the historic
+     inline sequence. *)
+  let problem, alloc =
+    Rats_server.Api.prepare ~cluster (Rats_server.Api.Generated config)
+  in
   {
     config;
     cluster = cluster.Cluster.name;

@@ -147,6 +147,39 @@ let progress_resumed =
   Metrics.counter "rats_progress_resumed_total"
     ~help:"Sweep configurations replayed from the journal"
 
+(* --- server ------------------------------------------------------------- *)
+
+let server_jobs_submitted =
+  Metrics.counter "rats_server_jobs_submitted_total"
+    ~help:"Job submissions that reached the online engine (arrival events)"
+
+let server_jobs_admitted =
+  Metrics.counter "rats_server_jobs_admitted_total"
+    ~help:"Submissions accepted by the admission policy"
+
+let server_jobs_rejected =
+  Metrics.counter "rats_server_jobs_rejected_total"
+    ~help:"Submissions rejected by the admission policy"
+
+let server_jobs_completed =
+  Metrics.counter "rats_server_jobs_completed_total"
+    ~help:"Jobs whose replay on the shared platform finished"
+
+let server_queue_depth =
+  Metrics.gauge "rats_server_queue_depth" ~help:"Jobs currently waiting in the service queue"
+
+let server_queue_depth_max =
+  Metrics.gauge "rats_server_queue_depth_max"
+    ~help:"High-water mark of the service waiting queue"
+
+let server_sojourn_seconds =
+  Metrics.histogram "rats_server_sojourn_seconds"
+    ~help:"Simulated completion minus arrival time per completed job"
+
+let server_schedule_seconds =
+  Metrics.histogram "rats_server_schedule_seconds"
+    ~help:"Wall-clock time computing schedules per dispatch batch"
+
 (* --- helpers ------------------------------------------------------------ *)
 
 let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9

@@ -85,6 +85,25 @@ val progress_failed : Metrics.counter
 val progress_retried : Metrics.counter
 val progress_resumed : Metrics.counter
 
+(** {2 Online service ([Server.Engine] via [ratsd])}
+
+    Counters follow the engine's event stream (submitted = arrival events,
+    so metrics and event log agree); the sojourn histogram is in {e
+    simulated} seconds, while [rats_server_schedule_seconds] is wall-clock
+    — the service's actual scheduling latency per dispatch batch. *)
+
+val server_jobs_submitted : Metrics.counter
+val server_jobs_admitted : Metrics.counter
+val server_jobs_rejected : Metrics.counter
+val server_jobs_completed : Metrics.counter
+val server_queue_depth : Metrics.gauge
+val server_queue_depth_max : Metrics.gauge
+val server_sojourn_seconds : Metrics.histogram  (** Simulated seconds. *)
+
+val server_schedule_seconds : Metrics.histogram
+(** Wall-clock seconds per dispatch batch (uses the engine's injected
+    clock). *)
+
 (** {2 Helpers} *)
 
 val now_s : unit -> float

@@ -1,0 +1,16 @@
+type policy = { queue_limit : int; tenant_limit : int }
+
+let default = { queue_limit = 256; tenant_limit = 64 }
+
+let make ~queue_limit ~tenant_limit =
+  if queue_limit < 1 then invalid_arg "Admission.make: queue_limit < 1";
+  if tenant_limit < 1 then invalid_arg "Admission.make: tenant_limit < 1";
+  { queue_limit; tenant_limit }
+
+type decision = Accept | Reject of Api.reject_reason
+
+let decide policy ~queue_depth ~tenant_outstanding =
+  if tenant_outstanding >= policy.tenant_limit then
+    Reject Api.Tenant_quota
+  else if queue_depth >= policy.queue_limit then Reject Api.Queue_full
+  else Accept

@@ -1,0 +1,33 @@
+(** Admission control for the online engine.
+
+    Submission-time (static) validation lives in {!Api.validate}; this
+    module decides, {e at arrival in simulated time}, whether an already
+    well-formed job may enter the waiting queue. The decision depends only
+    on queue occupancy — a deterministic function of the arrival trace — so
+    replaying a journal reproduces every accept/reject bit-exactly.
+
+    Policy: a bounded global queue ([queue_limit] jobs waiting or running)
+    and a per-tenant bound ([tenant_limit] outstanding jobs), protecting
+    tenants from each other the way the packing-constrained schedulers of
+    Shafiee & Ghaderi cap per-class occupancy (PAPERS.md). *)
+
+type policy = {
+  queue_limit : int;  (** Maximum jobs waiting in the queue (≥ 1). *)
+  tenant_limit : int;
+      (** Maximum jobs a tenant may have waiting or running (≥ 1). *)
+}
+
+val default : policy
+(** [{ queue_limit = 256; tenant_limit = 64 }]. *)
+
+val make : queue_limit:int -> tenant_limit:int -> policy
+(** Raises [Invalid_argument] on non-positive limits. *)
+
+type decision = Accept | Reject of Api.reject_reason
+
+val decide :
+  policy -> queue_depth:int -> tenant_outstanding:int -> decision
+(** [queue_depth] is the waiting-queue depth at arrival;
+    [tenant_outstanding] counts the arriving tenant's waiting + running
+    jobs. Tenant quota is checked first (a tenant over quota is rejected
+    even when the queue has room). *)

@@ -1,0 +1,331 @@
+module Cluster = Rats_platform.Cluster
+module Procset = Rats_util.Procset
+module Sim = Rats_sim.Engine
+module Journal = Rats_runtime.Journal
+module Pool = Rats_runtime.Pool
+module Schedule = Rats_core.Schedule
+module Rats = Rats_core.Rats
+module J = Rats_obs.Json
+module Metrics = Rats_obs.Metrics
+module Instr = Rats_obs.Instr
+
+type config = {
+  cluster : Cluster.t;
+  policy : Admission.policy;
+  jobs : int option;
+  clock : unit -> float;
+}
+
+let default_config cluster =
+  { cluster; policy = Admission.default; jobs = None; clock = Instr.now_s }
+
+type job = {
+  id : int;
+  request : Api.request;
+  n_procs : int;  (* resolved share size *)
+  name : string;
+  strategy : string;
+  arrival : float;
+}
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  rejected : int;
+  completed : int;
+  queue_depth_max : int;
+  busy_time : float;
+  end_time : float;
+  utilization : float;
+  sojourns : float array;
+}
+
+type t = {
+  config : config;
+  sim : Sim.t;
+  journal : Journal.t option;
+  mutable free : Procset.t;
+  queue : job Jobq.t;
+  outstanding : (string, int) Hashtbl.t;  (* tenant -> queued + running *)
+  mutable pending : (float * job) list;  (* submitted, not yet injected *)
+  mutable next_id : int;
+  mutable next_seq : int;
+  mutable rev_events : Api.stamped list;
+  mutable subscribers : (Api.stamped -> unit) list;
+  (* statistics *)
+  mutable n_submitted : int;
+  mutable n_admitted : int;
+  mutable n_rejected : int;
+  mutable n_completed : int;
+  mutable queue_depth_max : int;
+  mutable busy_time : float;
+  mutable end_time : float;
+  mutable rev_sojourns : float list;
+}
+
+let create ?journal config =
+  {
+    config;
+    sim = Sim.create config.cluster;
+    journal;
+    free = Procset.range 0 (Cluster.n_procs config.cluster);
+    queue = Jobq.create ();
+    outstanding = Hashtbl.create 16;
+    pending = [];
+    next_id = 0;
+    next_seq = 0;
+    rev_events = [];
+    subscribers = [];
+    n_submitted = 0;
+    n_admitted = 0;
+    n_rejected = 0;
+    n_completed = 0;
+    queue_depth_max = 0;
+    busy_time = 0.;
+    end_time = 0.;
+    rev_sojourns = [];
+  }
+
+let cluster t = t.config.cluster
+let now t = Sim.now t.sim
+let free_procs t = Procset.size t.free
+let queue_depth t = Jobq.depth t.queue
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let events t = List.rev t.rev_events
+
+let outstanding_of t tenant =
+  Option.value (Hashtbl.find_opt t.outstanding tenant) ~default:0
+
+let adjust_outstanding t tenant d =
+  Hashtbl.replace t.outstanding tenant (outstanding_of t tenant + d)
+
+let emit t job event =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let stamped =
+    {
+      Api.t = Sim.now t.sim;
+      seq;
+      job_id = job.id;
+      tenant = job.request.Api.tenant;
+      job_name = job.name;
+      event;
+    }
+  in
+  t.rev_events <- stamped :: t.rev_events;
+  List.iter (fun f -> f stamped) t.subscribers
+
+let note_queue_depth t =
+  let d = Jobq.depth t.queue in
+  if d > t.queue_depth_max then t.queue_depth_max <- d;
+  Metrics.set Instr.server_queue_depth (float_of_int d);
+  Metrics.observe_max Instr.server_queue_depth_max (float_of_int d)
+
+(* --- dispatch ----------------------------------------------------------- *)
+
+let rec start_job t job grant schedule =
+  emit t job
+    (Api.Started
+       {
+         procs = Procset.to_list grant;
+         est_makespan = Schedule.makespan_estimated schedule;
+       });
+  Replay.start t.sim ~schedule ~grant
+    ~on_redistribution:(fun ~src_task ~dst_task ~bytes ~started ->
+      emit t job (Api.Redistribution { src_task; dst_task; bytes; started }))
+    ~on_complete:(fun (r : Replay.result) ->
+      t.free <- Procset.union t.free grant;
+      adjust_outstanding t job.request.Api.tenant (-1);
+      t.n_completed <- t.n_completed + 1;
+      Metrics.incr Instr.server_jobs_completed;
+      let sojourn = r.finish_time -. job.arrival in
+      t.rev_sojourns <- sojourn :: t.rev_sojourns;
+      t.busy_time <-
+        t.busy_time +. (float_of_int job.n_procs *. (r.finish_time -. r.start_time));
+      Metrics.observe Instr.server_sojourn_seconds sojourn;
+      emit t job
+        (Api.Completed
+           {
+             makespan = r.finish_time -. r.start_time;
+             sojourn;
+             waited = r.start_time -. job.arrival;
+             remote_bytes = r.remote_bytes;
+             redistributions = r.redistributions;
+             avoided = r.avoided;
+           });
+      dispatch t)
+    ()
+
+and dispatch t =
+  (* Pop everything that fits right now, granting the lowest free
+     processors in queue order, then compute the batch's schedules in the
+     pool (deterministic by index) and start the replays in grant order. *)
+  let rec take acc =
+    match Jobq.pop t.queue ~fits:(fun j -> j.n_procs <= Procset.size t.free) with
+    | None -> List.rev acc
+    | Some job ->
+        let grant = Procset.first_n t.free job.n_procs in
+        t.free <- Procset.diff t.free grant;
+        take ((job, grant) :: acc)
+  in
+  let batch = take [] in
+  if batch <> [] then begin
+    note_queue_depth t;
+    let t0 = t.config.clock () in
+    let schedules =
+      Pool.map ?jobs:t.config.jobs
+        (fun (job, grant) ->
+          let share = Api.subcluster t.config.cluster (Procset.size grant) in
+          Api.plan ~cluster:share job.request)
+        batch
+    in
+    Metrics.observe Instr.server_schedule_seconds (t.config.clock () -. t0);
+    List.iter2
+      (fun (job, grant) schedule -> start_job t job grant schedule)
+      batch schedules
+  end
+
+(* --- arrivals ----------------------------------------------------------- *)
+
+let arrive t job =
+  t.n_submitted <- t.n_submitted + 1;
+  Metrics.incr Instr.server_jobs_submitted;
+  emit t job
+    (Api.Submitted
+       { procs = job.n_procs; strategy = job.strategy; spec = job.name });
+  match
+    Admission.decide t.config.policy ~queue_depth:(Jobq.depth t.queue)
+      ~tenant_outstanding:(outstanding_of t job.request.Api.tenant)
+  with
+  | Admission.Reject reason ->
+      t.n_rejected <- t.n_rejected + 1;
+      Metrics.incr Instr.server_jobs_rejected;
+      emit t job (Api.Rejected { reason })
+  | Admission.Accept ->
+      t.n_admitted <- t.n_admitted + 1;
+      Metrics.incr Instr.server_jobs_admitted;
+      adjust_outstanding t job.request.Api.tenant 1;
+      emit t job Api.Admitted;
+      Jobq.push t.queue ~tenant:job.request.Api.tenant job;
+      emit t job (Api.Queued { depth = Jobq.depth t.queue });
+      note_queue_depth t;
+      dispatch t
+
+(* --- submission --------------------------------------------------------- *)
+
+let journal_key id = Printf.sprintf "sub-%08d" id
+
+let submission_to_json ~at request =
+  J.Obj [ ("at", J.Num at); ("req", Api.request_to_json request) ]
+
+let submission_of_json j =
+  match (J.member "at" j, J.member "req" j) with
+  | Some at_j, Some req_j -> (
+      match (J.to_float at_j, Api.request_of_json req_j) with
+      | Some at, Ok req -> Ok (at, req)
+      | None, _ -> Error "submission: \"at\" is not a number"
+      | _, (Error _ as e) -> e)
+  | _ -> Error "submission: missing \"at\" or \"req\""
+
+let register t ~at ~id request ~n_procs =
+  let job =
+    {
+      id;
+      request;
+      n_procs;
+      name = Api.spec_name request.Api.job;
+      strategy = Rats.strategy_name request.Api.strategy;
+      arrival = at;
+    }
+  in
+  t.pending <- (at, job) :: t.pending
+
+let submit t ?at request =
+  match Api.validate ~n_procs:(Cluster.n_procs t.config.cluster) request with
+  | Error _ as e -> e
+  | Ok n_procs ->
+      let now = Sim.now t.sim in
+      let at =
+        match at with Some a when a > now -> a | Some _ | None -> now
+      in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      (match t.journal with
+      | Some j ->
+          Journal.append j ~key:(journal_key id)
+            (J.to_string (submission_to_json ~at request))
+      | None -> ());
+      register t ~at ~id request ~n_procs;
+      Ok id
+
+let resume t =
+  match t.journal with
+  | None -> 0
+  | Some j ->
+      let rec go id =
+        match Journal.find j (journal_key id) with
+        | None -> id
+        | Some payload ->
+            (match J.parse payload with
+            | Error e ->
+                failwith
+                  (Printf.sprintf "ratsd journal: unparseable record %s: %s"
+                     (journal_key id) e)
+            | Ok json -> (
+                match submission_of_json json with
+                | Error e ->
+                    failwith
+                      (Printf.sprintf "ratsd journal: bad record %s: %s"
+                         (journal_key id) e)
+                | Ok (at, request) -> (
+                    match
+                      Api.validate
+                        ~n_procs:(Cluster.n_procs t.config.cluster)
+                        request
+                    with
+                    | Error e ->
+                        failwith
+                          (Printf.sprintf
+                             "ratsd journal: record %s no longer valid: %s"
+                             (journal_key id) e)
+                    | Ok n_procs ->
+                        register t ~at ~id request ~n_procs;
+                        t.next_id <- id + 1)));
+            go (id + 1)
+      in
+      go 0
+
+(* --- running ------------------------------------------------------------ *)
+
+let drain t =
+  let pending =
+    List.sort
+      (fun (a1, j1) (a2, j2) ->
+        compare (a1, j1.request.Api.tenant, j1.id) (a2, j2.request.Api.tenant, j2.id))
+      t.pending
+  in
+  t.pending <- [];
+  List.iter
+    (fun (at, job) -> Sim.at t.sim at (fun _eng -> arrive t job))
+    pending;
+  let end_time = Sim.run t.sim in
+  t.end_time <- end_time;
+  end_time
+
+let stats t =
+  let n_procs = Cluster.n_procs t.config.cluster in
+  {
+    submitted = t.n_submitted;
+    admitted = t.n_admitted;
+    rejected = t.n_rejected;
+    completed = t.n_completed;
+    queue_depth_max = t.queue_depth_max;
+    busy_time = t.busy_time;
+    end_time = t.end_time;
+    utilization =
+      (if t.end_time > 0. then
+         t.busy_time /. (float_of_int n_procs *. t.end_time)
+       else 0.);
+    sojourns = Array.of_list (List.rev t.rev_sojourns);
+  }

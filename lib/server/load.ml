@@ -1,0 +1,148 @@
+module Rng = Rats_util.Rng
+module Stats = Rats_util.Stats
+module Cluster = Rats_platform.Cluster
+module Suite = Rats_daggen.Suite
+module Shape = Rats_daggen.Shape
+module Rats = Rats_core.Rats
+
+type profile = {
+  n_jobs : int;
+  n_tenants : int;
+  rate : float;
+  seed : int;
+  strategy : Rats.strategy;
+  procs_min : int;
+  procs_max : int;
+}
+
+let default_profile cluster =
+  let n = Cluster.n_procs cluster in
+  {
+    n_jobs = 120;
+    n_tenants = 4;
+    rate = 0.05;
+    seed = 42;
+    strategy = Rats.Delta Rats.naive_delta;
+    procs_min = max 1 (n / 4);
+    procs_max = n;
+  }
+
+(* Small configurations only: the driver's point is service dynamics, not
+   giant DAGs. *)
+let spec_pool =
+  [|
+    Suite.Layered
+      {
+        n_tasks = 25;
+        shape = Shape.make ~width:0.5 ~regularity:0.8 ~density:0.2 ();
+      };
+    Suite.Layered
+      {
+        n_tasks = 25;
+        shape = Shape.make ~width:0.2 ~regularity:0.2 ~density:0.8 ();
+      };
+    Suite.Irregular
+      {
+        n_tasks = 25;
+        shape = Shape.make ~width:0.5 ~regularity:0.2 ~density:0.2 ~jump:2 ();
+      };
+    Suite.Fft { k = 2 };
+    Suite.Strassen;
+  |]
+
+let validate p =
+  if p.n_jobs < 1 then invalid_arg "Load: n_jobs < 1";
+  if p.n_tenants < 1 then invalid_arg "Load: n_tenants < 1";
+  if p.rate <= 0. then invalid_arg "Load: rate <= 0";
+  if p.procs_min < 1 || p.procs_max < p.procs_min then
+    invalid_arg "Load: bad procs range"
+
+let trace p =
+  validate p;
+  let per_tenant_rate = p.rate /. float_of_int p.n_tenants in
+  let arrivals = ref [] in
+  for tenant = 0 to p.n_tenants - 1 do
+    (* Per-tenant stream: adding tenants never perturbs existing ones. *)
+    let rng = Rng.create (p.seed + (7919 * tenant)) in
+    let tenant_name = Printf.sprintf "tenant-%d" tenant in
+    (* Tenant [i] submits every [n_tenants]-th job of the total. *)
+    let jobs =
+      (p.n_jobs / p.n_tenants)
+      + if tenant < p.n_jobs mod p.n_tenants then 1 else 0
+    in
+    let t = ref 0. in
+    for i = 0 to jobs - 1 do
+      let u = Rng.float rng 1. in
+      t := !t +. (-.log (1. -. u) /. per_tenant_rate);
+      let spec = spec_pool.(Rng.int rng (Array.length spec_pool)) in
+      let sample = Rng.int_range rng 0 2 in
+      let procs = Rng.int_range rng p.procs_min p.procs_max in
+      let request =
+        {
+          Api.tenant = tenant_name;
+          job = Api.Generated { Suite.spec; sample };
+          strategy = p.strategy;
+          procs;
+        }
+      in
+      ignore i;
+      arrivals := (!t, request) :: !arrivals
+    done
+  done;
+  List.sort
+    (fun ((t1 : float), (r1 : Api.request)) (t2, (r2 : Api.request)) ->
+      compare (t1, r1.Api.tenant) (t2, r2.Api.tenant))
+    !arrivals
+
+type report = {
+  jobs : int;
+  completed : int;
+  rejected : int;
+  end_time : float;
+  throughput : float;
+  sojourn_mean : float;
+  sojourn_p50 : float;
+  sojourn_p99 : float;
+  utilization : float;
+  queue_depth_max : int;
+}
+
+let run engine p =
+  let arrivals = trace p in
+  List.iter
+    (fun (at, request) ->
+      match Engine.submit engine ~at request with
+      | Ok (_ : int) -> ()
+      | Error e -> invalid_arg ("Load.run: generated invalid request: " ^ e))
+    arrivals;
+  let end_time = Engine.drain engine in
+  let s = Engine.stats engine in
+  {
+    jobs = s.Engine.submitted;
+    completed = s.Engine.completed;
+    rejected = s.Engine.rejected;
+    end_time;
+    throughput =
+      (if end_time > 0. then float_of_int s.Engine.completed /. end_time
+       else 0.);
+    sojourn_mean = Stats.mean s.Engine.sojourns;
+    sojourn_p50 = Stats.percentile s.Engine.sojourns 50.;
+    sojourn_p99 = Stats.percentile s.Engine.sojourns 99.;
+    utilization = s.Engine.utilization;
+    queue_depth_max = s.Engine.queue_depth_max;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>jobs submitted     %d@,\
+     jobs completed     %d@,\
+     jobs rejected      %d@,\
+     end of trace       %.2f s (simulated)@,\
+     throughput         %.4f jobs/s@,\
+     sojourn mean       %.2f s@,\
+     sojourn p50        %.2f s@,\
+     sojourn p99        %.2f s@,\
+     utilization        %.1f%%@,\
+     peak queue depth   %d@]"
+    r.jobs r.completed r.rejected r.end_time r.throughput r.sojourn_mean
+    r.sojourn_p50 r.sojourn_p99 (100. *. r.utilization) r.queue_depth_max

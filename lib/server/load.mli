@@ -1,0 +1,53 @@
+(** Simulated-time load driver: the service's throughput proof.
+
+    Generates a multi-tenant Poisson arrival trace over the paper's
+    application suite, submits it to an online {!Engine}, drains, and
+    reports service-level numbers (throughput, p50/p99 sojourn,
+    utilization, peak queue depth). Everything is driven by
+    {!Rats_util.Rng} streams derived from [seed] — same seed, same
+    profile, same platform ⇒ byte-identical event log — so
+    [ratsd --selftest] doubles as a determinism check.
+
+    Each tenant is an independent Poisson process of rate
+    [rate /. n_tenants] (exponential interarrivals via inverse transform)
+    drawing its jobs from small suite configurations and its share sizes
+    uniformly from [\[procs_min, procs_max\]]. *)
+
+type profile = {
+  n_jobs : int;  (** Total jobs across all tenants. *)
+  n_tenants : int;
+  rate : float;  (** Aggregate arrival rate, jobs per simulated second. *)
+  seed : int;
+  strategy : Rats_core.Rats.strategy;  (** Used for every submission. *)
+  procs_min : int;
+  procs_max : int;
+}
+
+val default_profile : Rats_platform.Cluster.t -> profile
+(** 120 jobs from 4 tenants at 0.05 jobs/s with the naive delta strategy,
+    shares between a quarter and the whole platform, seed 42. *)
+
+val trace : profile -> (float * Api.request) list
+(** The arrival trace alone (time, request), sorted by time — what {!run}
+    submits. Exposed for tests. *)
+
+type report = {
+  jobs : int;  (** Jobs submitted. *)
+  completed : int;
+  rejected : int;
+  end_time : float;  (** Simulated completion time of the whole trace. *)
+  throughput : float;  (** Completed jobs per simulated second. *)
+  sojourn_mean : float;
+  sojourn_p50 : float;
+  sojourn_p99 : float;
+  utilization : float;
+  queue_depth_max : int;
+}
+
+val run : Engine.t -> profile -> report
+(** Submits the trace (rejecting statically invalid requests is a bug —
+    the driver only emits valid ones), drains the engine and summarises
+    its {!Engine.stats}. The engine should be fresh. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Multi-line human-readable summary. *)

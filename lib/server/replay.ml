@@ -1,0 +1,193 @@
+module Procset = Rats_util.Procset
+module Dag = Rats_dag.Dag
+module Engine = Rats_sim.Engine
+module Redistribution = Rats_redist.Redistribution
+module Core = Rats_core
+module Schedule = Rats_core.Schedule
+module Problem = Rats_core.Problem
+
+type result = {
+  start_time : float;
+  finish_time : float;
+  remote_bytes : float;
+  local_bytes : float;
+  redistributions : int;
+  avoided : int;
+}
+
+(* Mirror of [Rats_core.Evaluate]'s work-conserving replay (same decision
+   order, same event causality), with share-local processor indices and a
+   shared engine. Kept in lock-step with that module — when the replay
+   discipline changes there, change it here. *)
+type state = {
+  schedule : Schedule.t;
+  grant : int array;  (* local processor q runs on global grant.(q) *)
+  start_time : float;
+  queues : int array array;  (* per local processor: tasks, mapper order *)
+  busy : bool array;  (* per local processor *)
+  pending_inputs : int array;
+  started : bool array;
+  finished : bool array;
+  mutable n_finished : int;
+  mutable remote_bytes : float;
+  mutable local_bytes : float;
+  mutable redistributions : int;
+  mutable avoided : int;
+  on_redistribution :
+    src_task:int -> dst_task:int -> bytes:float -> started:float -> unit;
+  on_complete : result -> unit;
+}
+
+let build_queues schedule =
+  let problem = Schedule.problem schedule in
+  let p = Problem.n_procs problem in
+  let per_proc = Array.make p [] in
+  Array.iter
+    (fun e ->
+      Procset.iter
+        (fun q -> per_proc.(q) <- e.Schedule.task :: per_proc.(q))
+        e.Schedule.procs)
+    (Schedule.entries schedule);
+  Array.map
+    (fun tasks ->
+      let arr = Array.of_list tasks in
+      let key t =
+        let e = Schedule.entry schedule t in
+        (e.Schedule.est_start, e.Schedule.seq)
+      in
+      Array.sort (fun a b -> compare (key a) (key b)) arr;
+      arr)
+    per_proc
+
+let procs_free st procs =
+  Procset.fold (fun q ok -> ok && not st.busy.(q)) procs true
+
+let rec try_start st eng task =
+  let e = Schedule.entry st.schedule task in
+  if
+    (not st.started.(task))
+    && st.pending_inputs.(task) = 0
+    && procs_free st e.Schedule.procs
+  then begin
+    st.started.(task) <- true;
+    Procset.iter (fun q -> st.busy.(q) <- true) e.Schedule.procs;
+    let problem = Schedule.problem st.schedule in
+    let duration =
+      Problem.task_time problem task ~procs:(Procset.size e.Schedule.procs)
+    in
+    Engine.after eng duration (fun eng -> on_finish st eng task)
+  end
+
+and try_start_on_proc st eng q =
+  (* First eligible assigned task of the processor, in mapper order. *)
+  let queue = st.queues.(q) in
+  let rec go k =
+    if k < Array.length queue && not st.busy.(q) then begin
+      let t = queue.(k) in
+      if not st.started.(t) then try_start st eng t;
+      go (k + 1)
+    end
+  in
+  go 0
+
+and on_finish st eng task =
+  st.finished.(task) <- true;
+  st.n_finished <- st.n_finished + 1;
+  let e = Schedule.entry st.schedule task in
+  Procset.iter (fun q -> st.busy.(q) <- false) e.Schedule.procs;
+  let problem = Schedule.problem st.schedule in
+  let dag = Problem.dag problem in
+  List.iter
+    (fun (succ, bytes) ->
+      let se = Schedule.entry st.schedule succ in
+      let arrival eng =
+        st.pending_inputs.(succ) <- st.pending_inputs.(succ) - 1;
+        try_start st eng succ
+      in
+      if bytes <= 0. then Engine.at eng (Engine.now eng) arrival
+      else begin
+        let plan =
+          Redistribution.plan ~sender:e.Schedule.procs
+            ~receiver:se.Schedule.procs ~bytes ()
+        in
+        let remote = List.filter (fun t -> t.Redistribution.src <> t.dst) plan in
+        st.remote_bytes <- st.remote_bytes +. Redistribution.remote_bytes plan;
+        st.local_bytes <- st.local_bytes +. Redistribution.local_bytes plan;
+        if remote = [] then begin
+          st.avoided <- st.avoided + 1;
+          Engine.at eng (Engine.now eng) arrival
+        end
+        else begin
+          st.redistributions <- st.redistributions + 1;
+          let span_start = Engine.now eng in
+          let span_bytes = Redistribution.remote_bytes plan in
+          let outstanding = ref (List.length remote) in
+          List.iter
+            (fun tr ->
+              (* Local → platform-global endpoints: the flow crosses the
+                 real topology. *)
+              Engine.start_flow eng ~src:st.grant.(tr.Redistribution.src)
+                ~dst:st.grant.(tr.Redistribution.dst)
+                ~bytes:tr.Redistribution.bytes
+                ~on_complete:(fun eng ->
+                  decr outstanding;
+                  if !outstanding = 0 then begin
+                    st.on_redistribution ~src_task:task ~dst_task:succ
+                      ~bytes:span_bytes ~started:span_start;
+                    arrival eng
+                  end))
+            remote
+        end
+      end)
+    (Dag.succs dag task);
+  Procset.iter (fun q -> try_start_on_proc st eng q) e.Schedule.procs;
+  if st.n_finished = Schedule.n_tasks st.schedule then begin
+    Problem.publish_metrics problem;
+    st.on_complete
+      {
+        start_time = st.start_time;
+        finish_time = Engine.now eng;
+        remote_bytes = st.remote_bytes;
+        local_bytes = st.local_bytes;
+        redistributions = st.redistributions;
+        avoided = st.avoided;
+      }
+  end
+
+let start eng ~schedule ~grant
+    ?(on_redistribution = fun ~src_task:_ ~dst_task:_ ~bytes:_ ~started:_ -> ())
+    ~on_complete () =
+  let problem = Schedule.problem schedule in
+  let k = Problem.n_procs problem in
+  if Procset.size grant <> k then
+    invalid_arg
+      (Printf.sprintf "Replay.start: schedule wants %d processors, grant has %d"
+         k (Procset.size grant));
+  let n = Schedule.n_tasks schedule in
+  let dag = Problem.dag problem in
+  let st =
+    {
+      schedule;
+      grant = Procset.to_array grant;
+      start_time = Engine.now eng;
+      queues = build_queues schedule;
+      busy = Array.make k false;
+      pending_inputs = Array.init n (fun i -> List.length (Dag.preds dag i));
+      started = Array.make n false;
+      finished = Array.make n false;
+      n_finished = 0;
+      remote_bytes = 0.;
+      local_bytes = 0.;
+      redistributions = 0;
+      avoided = 0;
+      on_redistribution;
+      on_complete;
+    }
+  in
+  (* Kick through the event queue (not inline) so start ordering between
+     jobs granted at the same instant follows grant order, like
+     [Evaluate]'s time-0 kick. *)
+  Engine.at eng (Engine.now eng) (fun eng ->
+      for q = 0 to k - 1 do
+        try_start_on_proc st eng q
+      done)

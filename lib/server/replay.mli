@@ -1,0 +1,43 @@
+(** Schedule replay on a {e shared} simulation engine.
+
+    {!Rats_core.Evaluate} replays one schedule on a private engine; the
+    online service instead replays many jobs' schedules concurrently on one
+    engine over the real platform, so their redistributions contend for NIC
+    and uplink bandwidth — the multi-tenant effect the batch pipeline
+    cannot show. The state machine is the same work-conserving discipline
+    as [Evaluate] (a task starts when all inputs have arrived and all its
+    processors are free, acquired atomically; freed processors offer
+    themselves to their assigned tasks in mapper order); the differences
+    are:
+
+    - the schedule's processor ids are {e share-local} ([0 .. k-1]) and are
+      mapped onto the granted platform-global processor set, so flows cross
+      the real topology (and, on hierarchical clusters, the real uplinks);
+    - execution starts at the current simulated time, not 0;
+    - progress is reported through callbacks instead of a result record,
+      because completion happens inside the shared event loop. *)
+
+type result = {
+  start_time : float;  (** Simulated time the replay was started. *)
+  finish_time : float;  (** Simulated time the last task finished. *)
+  remote_bytes : float;
+  local_bytes : float;
+  redistributions : int;  (** Paid (partially remote) redistributions. *)
+  avoided : int;  (** Data-carrying edges served entirely locally. *)
+}
+
+val start :
+  Rats_sim.Engine.t ->
+  schedule:Rats_core.Schedule.t ->
+  grant:Rats_util.Procset.t ->
+  ?on_redistribution:
+    (src_task:int -> dst_task:int -> bytes:float -> started:float -> unit) ->
+  on_complete:(result -> unit) ->
+  unit ->
+  unit
+(** Launches the schedule on the engine now. [grant] must have exactly the
+    schedule's processor count (raises [Invalid_argument] otherwise); the
+    schedule's local processor [q] runs on [Procset.nth grant q].
+    [on_redistribution] fires when a paid redistribution's last byte
+    arrives (the engine's current time is the finish). [on_complete] fires
+    when every task has finished — the caller releases the grant there. *)

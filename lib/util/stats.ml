@@ -45,6 +45,24 @@ let min_max xs =
     (xs.(0), xs.(0))
     xs
 
+let percentile xs p =
+  let n = Array.length xs in
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0, 100]";
+  if n = 0 then 0.
+  else begin
+    let s = sorted_copy xs in
+    (* Linear interpolation between closest ranks (the common "type 7"
+       estimator): rank r = p/100 · (n−1). *)
+    let r = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor r) in
+    let hi = int_of_float (Float.ceil r) in
+    if lo = hi then s.(lo)
+    else begin
+      let w = r -. float_of_int lo in
+      (s.(lo) *. (1. -. w)) +. (s.(hi) *. w)
+    end
+  end
+
 let fraction_below xs x =
   let n = Array.length xs in
   if n = 0 then 0.

@@ -16,6 +16,12 @@ val stddev : float array -> float
 val min_max : float array -> float * float
 (** Raises [Invalid_argument] on the empty array. *)
 
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p ∈ \[0, 100\]]: the linearly interpolated
+    order statistic at rank [p/100·(n−1)] (the common "type 7" estimator;
+    [percentile xs 50. = median xs]). 0 on the empty array; raises
+    [Invalid_argument] on [p] outside the range. *)
+
 val fraction_below : float array -> float -> float
 (** [fraction_below xs x] is the fraction of elements strictly below [x]. *)
 

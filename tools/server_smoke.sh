@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the ratsd scheduling service.
+#
+# Three parts:
+#   1. live session: start ratsd, submit two jobs from two tenants over the
+#      socket, drain, fetch the event log, shut the daemon down;
+#   2. kill/resume: same submissions against a journaled daemon, kill -9 it
+#      before draining, restart with --resume, drain — the event log must be
+#      byte-identical to an uninterrupted run;
+#   3. load driver: ratsd --selftest with the default profile (120 jobs from
+#      4 tenants under both RATS and HCPA) must report a full determinism
+#      check and throughput/latency figures.
+#
+# Binaries are expected to be built already (make server-smoke builds first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RATSD=_build/default/bin/ratsd.exe
+CLIENT=_build/default/bin/rats_client.exe
+WORK=$(mktemp -d)
+S=$WORK/ratsd.sock
+DPID=0
+trap 'kill -9 $DPID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+wait_ready() { # wait for the daemon to bind its socket
+    for _ in $(seq 1 100); do
+        [ -S "$S" ] && return 0
+        sleep 0.1
+    done
+    echo "server-smoke: ratsd did not create $S" >&2
+    exit 1
+}
+
+submit_jobs() {
+    "$CLIENT" --socket "$S" --op submit --tenant alice --kind fft --fft-k 2 \
+        --procs 8 --at 0 >/dev/null
+    "$CLIENT" --socket "$S" --op submit --tenant bob --kind strassen \
+        --procs 10 --at 5 --algo hcpa >/dev/null
+}
+
+# --- 1. live session ------------------------------------------------------ #
+
+"$RATSD" --socket "$S" --journal-dir "$WORK/j1" &
+DPID=$!
+wait_ready
+
+"$CLIENT" --socket "$S" --op ping | grep -q pong
+submit_jobs
+"$CLIENT" --socket "$S" --op drain | grep -q drained
+"$CLIENT" --socket "$S" --op log --json > "$WORK/log-live.jsonl"
+"$CLIENT" --socket "$S" --op stats | grep -q '"completed"'
+"$CLIENT" --socket "$S" --op shutdown | grep -q bye
+wait $DPID 2>/dev/null || true
+
+for ev in submitted admitted started completed; do
+    grep -q "\"ev\":\"$ev\"" "$WORK/log-live.jsonl" || {
+        echo "server-smoke: no $ev event in the live log" >&2
+        exit 1
+    }
+done
+
+# --- 2. kill -9, resume from the journal ---------------------------------- #
+
+rm -f "$S"
+"$RATSD" --socket "$S" --journal-dir "$WORK/j2" &
+DPID=$!
+wait_ready
+submit_jobs
+kill -9 $DPID
+wait $DPID 2>/dev/null || true
+
+rm -f "$S"
+"$RATSD" --socket "$S" --journal-dir "$WORK/j2" --resume &
+DPID=$!
+wait_ready
+"$CLIENT" --socket "$S" --op drain | grep -q drained
+"$CLIENT" --socket "$S" --op log --json > "$WORK/log-resumed.jsonl"
+"$CLIENT" --socket "$S" --op shutdown >/dev/null
+wait $DPID 2>/dev/null || true
+
+if ! diff -q "$WORK/log-live.jsonl" "$WORK/log-resumed.jsonl" >/dev/null; then
+    echo "server-smoke: resumed event log differs from the uninterrupted run" >&2
+    diff "$WORK/log-live.jsonl" "$WORK/log-resumed.jsonl" >&2 || true
+    exit 1
+fi
+echo "server-smoke: resume bit-exact ($(wc -l < "$WORK/log-live.jsonl") events)"
+
+# --- 3. load driver ------------------------------------------------------- #
+
+"$RATSD" --selftest > "$WORK/selftest.out"
+grep -q 'selftest: OK' "$WORK/selftest.out"
+grep -q 'throughput' "$WORK/selftest.out"
+sed 's/^/  /' "$WORK/selftest.out"
+
+echo "server-smoke: OK"

@@ -13,6 +13,9 @@
 #   make server-smoke       ratsd end-to-end: live socket session, kill -9 +
 #                           journal resume (bit-exact event log), selftest
 #                           load driver
+#   make chaos-smoke        ratsd under fire: delay faults + kill -9 mid-trace
+#                           (bit-exact resume), slow-client eviction, overload
+#                           shedding/deadlines, corrupt/disconnect survival
 #   make flags-check        diff README's CLI flag table against each binary's
 #                           --help
 #   make lint               rats_lint static analysis (determinism & hygiene
@@ -21,7 +24,8 @@
 #   make salt-check         warn when lib/{sim,core,dag,redist} changed
 #                           without a Cache.version bump (STRICT=1 to fail)
 #   make check              build + tier-1 tests + lint + trace-smoke +
-#                           server-smoke + flags-check + advisory salt-check
+#                           server-smoke + chaos-smoke + flags-check +
+#                           advisory salt-check
 #   make clean-cache        drop the on-disk result cache and journal
 #                           (bench_results/.cache, bench_results/.journal)
 #   make clean              dune clean
@@ -30,7 +34,7 @@ JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
 .PHONY: build test test-fault bench-smoke bench-resume-smoke trace-smoke \
-  server-smoke flags-check lint salt-check check clean-cache clean
+  server-smoke chaos-smoke flags-check lint salt-check check clean-cache clean
 
 build:
 	dune build
@@ -78,6 +82,14 @@ trace-smoke: build
 server-smoke: build
 	tools/server_smoke.sh
 
+# Robustness acceptance: deterministic fault injection at every service-layer
+# site, kill -9 + resume under delay faults with a byte-identical event log,
+# slow-client eviction without disturbing other tenants, overload shedding
+# with retry-after hints, queue-wait deadlines, and survival under corrupted
+# reads / forced disconnects (docs/SERVER.md "Failure semantics").
+chaos-smoke: build
+	tools/chaos_smoke.sh
+
 flags-check: build
 	tools/flags_check.sh
 
@@ -94,6 +106,7 @@ check: build
 	$(MAKE) lint
 	$(MAKE) trace-smoke
 	$(MAKE) server-smoke
+	$(MAKE) chaos-smoke
 	$(MAKE) flags-check
 	$(MAKE) salt-check
 

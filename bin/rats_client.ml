@@ -4,13 +4,21 @@
      dune exec bin/rats_client.exe -- --op ping
      dune exec bin/rats_client.exe -- --op submit --tenant alice --kind fft \
        --fft-k 4 --procs 16 --at 0 --drain --follow
+     dune exec bin/rats_client.exe -- --op load --load-jobs 40 --rate 0.1
+     dune exec bin/rats_client.exe -- --op watch --json
      dune exec bin/rats_client.exe -- --op log --json
-     dune exec bin/rats_client.exe -- --op shutdown *)
+     dune exec bin/rats_client.exe -- --op shutdown
+
+   Every op takes --timeout (socket deadline: a wedged daemon cannot hang
+   a script) and --retries (bounded exponential-backoff reconnects, for
+   racing a daemon that is still starting or restarting). *)
 
 open Cmdliner
 module Server = Rats_server
 module Api = Rats_server.Api
 module Protocol = Rats_server.Protocol
+module Load = Rats_server.Load
+module Retry = Rats_runtime.Retry
 module Core = Rats_core
 module J = Rats_obs.Json
 
@@ -20,37 +28,68 @@ let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
 
 type conn = { fd : Unix.file_descr; decoder : Protocol.Decoder.t; buf : Bytes.t }
 
-let connect socket =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket)
-   with Unix.Unix_error (e, _, _) ->
-     fail "rats_client: cannot connect to %s: %s" socket (Unix.error_message e));
-  { fd; decoder = Protocol.Decoder.create (); buf = Bytes.create 65536 }
+let connect ~retries ~timeout socket =
+  let attempt_once () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  let policy =
+    { Retry.default with Retry.retries; backoff_s = 0.1; jitter = 0.5 }
+  in
+  let outcome =
+    Retry.run ~policy ~name:("rats_client:" ^ socket) (fun ~attempt:_ ->
+        attempt_once ())
+  in
+  match outcome.Retry.value with
+  | Error f ->
+      fail "rats_client: cannot connect to %s: %s" socket
+        (Retry.failure_to_string f)
+  | Ok fd ->
+      if timeout > 0. then begin
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+      end;
+      { fd; decoder = Protocol.Decoder.create (); buf = Bytes.create 65536 }
 
 let send conn msg =
   let frame = Protocol.to_frame (Protocol.client_to_json msg) in
   let n = String.length frame in
   let pos = ref 0 in
-  while !pos < n do
-    pos := !pos + Unix.write_substring conn.fd frame !pos (n - !pos)
-  done
+  try
+    while !pos < n do
+      pos := !pos + Unix.write_substring conn.fd frame !pos (n - !pos)
+    done
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+    fail "rats_client: send timed out (is ratsd wedged?)"
 
-let next_msg conn =
+(* [None] = orderly EOF. Timeouts and protocol damage are fatal. *)
+let next_msg_opt conn =
   let rec go () =
     match Protocol.Decoder.next conn.decoder with
     | Error e -> fail "rats_client: %s" e
     | Ok (Some doc) -> (
         match Protocol.server_of_json doc with
-        | Ok msg -> msg
+        | Ok msg -> Some msg
         | Error e -> fail "rats_client: bad reply: %s" e)
     | Ok None -> (
         match Unix.read conn.fd conn.buf 0 (Bytes.length conn.buf) with
-        | 0 -> fail "rats_client: connection closed by ratsd"
+        | 0 -> None
         | n ->
             Protocol.Decoder.feed conn.decoder conn.buf 0 n;
-            go ())
+            go ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            fail "rats_client: timed out waiting for ratsd's reply")
   in
   go ()
+
+let next_msg conn =
+  match next_msg_opt conn with
+  | Some msg -> msg
+  | None -> fail "rats_client: connection closed by ratsd"
 
 let print_event json ev =
   if json then print_endline (J.to_string (Api.stamped_to_json ev))
@@ -78,8 +117,45 @@ let do_drain conn json =
       Format.printf "drained: simulated end time %.6f s@." end_time
   | _ -> fail "rats_client: unexpected reply to drain"
 
+let do_watch conn json stall =
+  send conn Protocol.Watch;
+  (match expect_ok conn json with
+  | Protocol.Watching -> ()
+  | _ -> fail "rats_client: unexpected reply to watch");
+  (* A deliberate stall turns this client into the chaos harness's slow
+     reader: subscribed but consuming nothing, until ratsd evicts it. *)
+  if stall > 0. then Unix.sleepf stall;
+  let rec go () =
+    match next_msg_opt conn with
+    | None -> ()  (* daemon shut down, or we were evicted *)
+    | Some (Protocol.Event ev) ->
+        print_event json ev;
+        go ()
+    | Some _ -> go ()
+  in
+  go ()
+
+let do_load conn json profile load_from load_to =
+  let trace = Load.trace profile in
+  let n = List.length trace in
+  let lo = max 0 load_from in
+  let hi = if load_to <= 0 then n else min load_to n in
+  let sent = ref 0 in
+  List.iteri
+    (fun i (at, request) ->
+      if i >= lo && i < hi then begin
+        send conn (Protocol.Submit { at = Some at; request });
+        match expect_ok conn json with
+        | Protocol.Ack _ -> incr sent
+        | _ -> fail "rats_client: unexpected reply to submit"
+      end)
+    trace;
+  Format.printf "loaded: %d submission(s) (trace slice [%d,%d) of %d)@." !sent
+    lo hi n
+
 let run socket op tenant at procs follow drain json dag_file config algo
-    mindelta maxdelta minrho packing =
+    mindelta maxdelta minrho packing retries timeout stall cluster load_jobs
+    tenants rate seed load_from load_to =
   let strategy =
     match algo with
     | `Hcpa -> Core.Rats.Baseline
@@ -102,13 +178,18 @@ let run socket op tenant at procs follow drain json dag_file config algo
             | Error e -> fail "rats_client: %s: %s" path e))
   in
   let request () = { Api.tenant; job = job (); strategy; procs } in
-  let conn = connect socket in
+  let conn = connect ~retries ~timeout socket in
   (match op with
   | `Ping -> (
       send conn Protocol.Ping;
       match expect_ok conn json with
       | Protocol.Pong -> print_endline "pong"
       | _ -> fail "rats_client: unexpected reply to ping")
+  | `Health -> (
+      send conn Protocol.Health;
+      match expect_ok conn json with
+      | Protocol.Healthy h -> print_endline (J.to_string h)
+      | _ -> fail "rats_client: unexpected reply to health")
   | `Plan -> (
       send conn (Protocol.Plan (request ()));
       match expect_ok conn json with
@@ -127,6 +208,20 @@ let run socket op tenant at procs follow drain json dag_file config algo
           Format.printf "submitted: id %d@." id;
           if drain then do_drain conn json
       | _ -> fail "rats_client: unexpected reply to submit")
+  | `Watch -> do_watch conn json stall
+  | `Load ->
+      let profile =
+        {
+          (Load.default_profile cluster) with
+          Load.n_jobs = load_jobs;
+          n_tenants = tenants;
+          rate;
+          seed;
+          strategy;
+        }
+      in
+      do_load conn json profile load_from load_to;
+      if drain then do_drain conn json
   | `Drain ->
       if follow then begin
         send conn Protocol.Watch;
@@ -169,12 +264,15 @@ let op_term =
         (enum
            [ ("ping", `Ping); ("plan", `Plan); ("submit", `Submit);
              ("drain", `Drain); ("log", `Log); ("stats", `Stats);
+             ("watch", `Watch); ("health", `Health); ("load", `Load);
              ("shutdown", `Shutdown) ])
         `Ping
     & info [ "op" ] ~docv:"OP"
         ~doc:
           "Operation: ping, plan (pure schedule, no queueing), submit, \
-           drain, log, stats or shutdown.")
+           drain, log, stats, watch (stream events until the daemon goes \
+           away), health (liveness/readiness snapshot), load (submit a \
+           slice of the Poisson load trace) or shutdown.")
 
 let tenant_term =
   Arg.(
@@ -206,8 +304,8 @@ let drain_client_term =
   Arg.(
     value & flag
     & info [ "drain" ]
-        ~doc:"After a submit, immediately drain the service (run the \
-              simulation dry).")
+        ~doc:"After a submit or load, immediately drain the service (run \
+              the simulation dry).")
 
 let json_term =
   Arg.(
@@ -242,6 +340,67 @@ let minrho_term =
 let packing_term =
   Arg.(value & opt bool true & info [ "packing" ] ~docv:"BOOL" ~doc:"Time-cost packing toggle.")
 
+let retries_term =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry the initial connection up to $(docv) extra times with \
+           bounded exponential backoff (for daemons still starting or \
+           restarting).")
+
+let timeout_term =
+  Arg.(
+    value & opt float 0.
+    & info [ "timeout" ] ~docv:"S"
+        ~doc:
+          "Socket send/receive deadline in seconds; 0 = wait forever. A \
+           wedged daemon then fails the op instead of hanging it.")
+
+let stall_term =
+  Arg.(
+    value & opt float 0.
+    & info [ "stall" ] ~docv:"S"
+        ~doc:
+          "watch only: after subscribing, read nothing for $(docv) \
+           seconds — a deliberately slow client, for testing eviction.")
+
+let load_jobs_term =
+  Arg.(
+    value & opt int 120
+    & info [ "load-jobs" ] ~docv:"N"
+        ~doc:"load: total jobs in the generated trace.")
+
+let tenants_term =
+  Arg.(
+    value & opt int 4
+    & info [ "tenants" ] ~docv:"N" ~doc:"load: number of tenants.")
+
+let rate_term =
+  Arg.(
+    value & opt float 0.05
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"load: aggregate arrival rate, jobs per simulated second.")
+
+let seed_term =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"S" ~doc:"load: arrival-trace random seed.")
+
+let load_from_term =
+  Arg.(
+    value & opt int 0
+    & info [ "load-from" ] ~docv:"I"
+        ~doc:
+          "load: first trace index to submit (resuming a partially \
+           submitted trace skips what the journal already has).")
+
+let load_to_term =
+  Arg.(
+    value & opt int 0
+    & info [ "load-to" ] ~docv:"J"
+        ~doc:"load: submit trace indices below $(docv); 0 = to the end.")
+
 let cmd =
   Cmd.v
     (Cmd.info "rats_client" ~doc:"Client for the ratsd scheduling service")
@@ -249,6 +408,8 @@ let cmd =
       const run $ socket_term $ op_term $ tenant_term $ at_term $ procs_term
       $ follow_term $ drain_client_term $ json_term $ dag_term
       $ Common.config_term $ algo_term $ mindelta_term $ maxdelta_term
-      $ minrho_term $ packing_term)
+      $ minrho_term $ packing_term $ retries_term $ timeout_term $ stall_term
+      $ Common.cluster_term $ load_jobs_term $ tenants_term $ rate_term
+      $ seed_term $ load_from_term $ load_to_term)
 
 let () = exit (Cmd.eval cmd)

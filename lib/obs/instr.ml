@@ -128,6 +128,10 @@ let exec_resumed =
 let exec_timeouts =
   Metrics.counter "rats_exec_timeouts_total" ~help:"Attempts abandoned at their deadline"
 
+let fault_injections =
+  Metrics.counter "rats_fault_injections_total"
+    ~help:"Faults injected by Runtime.Fault across every site (crash, delay, corrupt)"
+
 (* --- progress ----------------------------------------------------------- *)
 
 let progress_completed =
@@ -179,6 +183,18 @@ let server_sojourn_seconds =
 let server_schedule_seconds =
   Metrics.histogram "rats_server_schedule_seconds"
     ~help:"Wall-clock time computing schedules per dispatch batch"
+
+let server_jobs_expired =
+  Metrics.counter "rats_server_jobs_expired_total"
+    ~help:"Queued jobs dropped because their simulated queue-wait deadline passed"
+
+let server_clients_evicted =
+  Metrics.counter "rats_server_clients_evicted_total"
+    ~help:"Client connections closed for exceeding their output-buffer budget"
+
+let server_events_shed =
+  Metrics.counter "rats_server_events_shed_total"
+    ~help:"Event frames dropped instead of queued while the daemon was degraded"
 
 (* --- helpers ------------------------------------------------------------ *)
 

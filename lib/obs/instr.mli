@@ -77,6 +77,11 @@ val exec_retried : Metrics.counter
 val exec_resumed : Metrics.counter
 val exec_timeouts : Metrics.counter
 
+val fault_injections : Metrics.counter
+(** Faults actually injected by [Runtime.Fault] (crash raises, delay
+    sleeps, corrupted payloads), across every site. Zero in an unfaulted
+    run — a chaos harness asserts it moved. *)
+
 (** {2 Progress (sweep-level, fed by [Runtime.Progress])} *)
 
 val progress_completed : Metrics.counter
@@ -103,6 +108,15 @@ val server_sojourn_seconds : Metrics.histogram  (** Simulated seconds. *)
 val server_schedule_seconds : Metrics.histogram
 (** Wall-clock seconds per dispatch batch (uses the engine's injected
     clock). *)
+
+val server_jobs_expired : Metrics.counter
+(** Queued jobs dropped at their simulated queue-wait deadline. *)
+
+val server_clients_evicted : Metrics.counter
+(** Connections closed by [ratsd] for exceeding their output budget. *)
+
+val server_events_shed : Metrics.counter
+(** Event frames dropped (not queued) while [ratsd] was degraded. *)
 
 (** {2 Helpers} *)
 

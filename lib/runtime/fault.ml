@@ -148,20 +148,26 @@ let fires t kind ~site ~key =
   let p = probability t kind site in
   p > 0. && draw t kind ~site ~key < p
 
+let injected () = Rats_obs.Metrics.incr Rats_obs.Instr.fault_injections
+
 let crash_point t ~site ~key =
   match t with
   | Some t when fires t Crash ~site ~key ->
+      injected ();
       raise (Injected (Printf.sprintf "%s:%s" site key))
   | _ -> ()
 
 let delay_point t ~site ~key =
   match t with
-  | Some t when fires t Delay ~site ~key -> Unix.sleepf t.delay_s
+  | Some t when fires t Delay ~site ~key ->
+      injected ();
+      Unix.sleepf t.delay_s
   | _ -> ()
 
 let corrupt_payload t ~site ~key payload =
   match t with
   | Some t when fires t Corrupt ~site ~key ->
+      injected ();
       let n = String.length payload in
       if n = 0 then "\xff"
       else begin

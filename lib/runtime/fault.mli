@@ -24,7 +24,15 @@
       [0,1] (default 0).
     - [kind@site=P] — site override, e.g. [crash@worker=0.5] or
       [corrupt@cache.write=1]. Sites used by the runtime: ["worker"] (task
-      execution in {!Exec}), ["cache.write"] ({!Cache.store}).
+      execution in {!Exec}), ["cache.write"] ({!Cache.store}),
+      ["journal.append"] ({!Journal.append}: [Delay] stalls the write,
+      [Crash] turns it into an I/O failure that disables the journal).
+      Sites used by the service layer (see docs/SERVER.md "Failure
+      semantics"): ["server.read"] ([Corrupt] damages a chunk read off a
+      client socket), ["server.client"] ([Crash] force-disconnects a
+      client mid-session), ["engine.step"] ([Delay] before a dispatch
+      batch), ["replay.task"] ([Delay] when a task finishes on the shared
+      simulator).
     - [delay_s=S] — duration of one injected delay in seconds
       (default 0.05).
     - [off] (alone) — explicitly disabled, same as unset. *)
@@ -51,7 +59,10 @@ val delay_duration : t -> float
 
 val fires : t -> kind -> site:string -> key:string -> bool
 (** Pure decision: does this fault fire here? Deterministic in
-    (seed, kind, site, key). *)
+    (seed, kind, site, key). Callers acting on a positive decision
+    directly (rather than through the helpers below) should bump
+    [Rats_obs.Instr.fault_injections] themselves — the helpers do it for
+    them. *)
 
 val crash_point : t option -> site:string -> key:string -> unit
 (** Raise {!Injected} when a [Crash] fires; no-op on [None]. *)

@@ -5,6 +5,7 @@ type t = {
   loaded : int;
   mutable appended : int;
   mutex : Mutex.t;
+  fault : Fault.t option;
 }
 
 let default_dir = Filename.concat "bench_results" ".journal"
@@ -80,7 +81,7 @@ let read_file path =
 
 let path t = t.path
 
-let open_ ?(dir = default_dir) ~name ~resume () =
+let open_ ?(dir = default_dir) ?fault ~name ~resume () =
   mkdir_p dir;
   let path = Filename.concat dir (sanitize name ^ ".journal") in
   let previous =
@@ -109,7 +110,7 @@ let open_ ?(dir = default_dir) ~name ~resume () =
         Unix.fsync fd;
         (Hashtbl.create 256, 0)
   in
-  { path; fd = Some fd; entries; loaded; appended = 0; mutex = Mutex.create () }
+  { path; fd = Some fd; entries; loaded; appended = 0; mutex = Mutex.create (); fault }
 
 let find t key = Hashtbl.find_opt t.entries key
 
@@ -125,7 +126,12 @@ let write_all fd s =
   in
   go 0
 
+let site = "journal.append"
+
 let append t ~key payload =
+  (* Outside the lock: an injected stall must not serialise other
+     appenders behind the sleep. *)
+  Fault.delay_point t.fault ~site ~key;
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
@@ -134,6 +140,11 @@ let append t ~key payload =
       | None -> ()
       | Some fd -> (
           try
+            (match t.fault with
+            | Some f when Fault.fires f Fault.Crash ~site ~key ->
+                Rats_obs.Metrics.incr Rats_obs.Instr.fault_injections;
+                raise (Unix.Unix_error (Unix.EIO, "journal.append (injected)", t.path))
+            | _ -> ());
             write_all fd (encode_record key payload);
             Unix.fsync fd;
             Hashtbl.replace t.entries key payload;
@@ -146,6 +157,12 @@ let append t ~key payload =
               t.path (Unix.error_message e);
             (try Unix.close fd with Unix.Unix_error _ -> ());
             t.fd <- None))
+
+let writable t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> t.fd <> None)
 
 let close t =
   Mutex.lock t.mutex;

@@ -29,12 +29,17 @@ val default_dir : string
 
 val path : t -> string
 
-val open_ : ?dir:string -> name:string -> resume:bool -> unit -> t
+val open_ : ?dir:string -> ?fault:Fault.t -> name:string -> resume:bool -> unit -> t
 (** Open (creating directories as needed) the journal named [name]
     (sanitized into a filename). With [resume:false] any existing journal
     for that name is discarded — the run starts from nothing. With
     [resume:true] the well-formed prefix of the existing file is loaded
-    (see {!find}/{!loaded}) and appends continue after it. *)
+    (see {!find}/{!loaded}) and appends continue after it.
+
+    [fault] arms the ["journal.append"] injection site on this journal:
+    a [Delay] stalls an append (outside the lock), a [Crash] turns it
+    into an I/O failure, exercising the disable-on-error degraded path
+    below without a real full disk. *)
 
 val find : t -> string -> string option
 (** Payload recorded under the key by the run being resumed. *)
@@ -49,5 +54,9 @@ val append : t -> key:string -> string -> unit
 (** Durably record one completed result (atomic append + fsync). I/O errors
     are reported once on stderr and further appends disabled — losing the
     journal degrades resumability, never the run. *)
+
+val writable : t -> bool
+(** [false] once an append failure (real or injected) has disabled the
+    journal, or after {!close} — the run continues but will not resume. *)
 
 val close : t -> unit

@@ -139,11 +139,15 @@ let run_local ~cluster r =
 
 (* --- events ------------------------------------------------------------- *)
 
-type reject_reason = Queue_full | Tenant_quota
+type reject_reason =
+  | Queue_full
+  | Tenant_quota
+  | Overloaded of { retry_after : float }
 
 let reject_reason_name = function
   | Queue_full -> "queue_full"
   | Tenant_quota -> "tenant_quota"
+  | Overloaded _ -> "overloaded"
 
 type event =
   | Submitted of { procs : int; strategy : string; spec : string }
@@ -165,6 +169,7 @@ type event =
       avoided : int;
     }
   | Rejected of { reason : reject_reason }
+  | Expired of { waited : float }
 
 type stamped = {
   t : float;
@@ -442,7 +447,12 @@ let event_fields = function
         ("avoided", int avoided);
       ]
   | Rejected { reason } ->
-      [ ("ev", J.Str "rejected"); ("reason", J.Str (reject_reason_name reason)) ]
+      ("ev", J.Str "rejected")
+      :: ("reason", J.Str (reject_reason_name reason))
+      :: (match reason with
+         | Overloaded { retry_after } -> [ ("retry_after", num retry_after) ]
+         | Queue_full | Tenant_quota -> [])
+  | Expired { waited } -> [ ("ev", J.Str "expired"); ("waited", num waited) ]
 
 let event_of_json j =
   let* ev = str_field "ev" j in
@@ -490,7 +500,13 @@ let event_of_json j =
       match reason with
       | "queue_full" -> Ok (Rejected { reason = Queue_full })
       | "tenant_quota" -> Ok (Rejected { reason = Tenant_quota })
+      | "overloaded" ->
+          let* retry_after = num_field "retry_after" j in
+          Ok (Rejected { reason = Overloaded { retry_after } })
       | other -> Error (Printf.sprintf "unknown reject reason %S" other))
+  | "expired" ->
+      let* waited = num_field "waited" j in
+      Ok (Expired { waited })
   | other -> Error (Printf.sprintf "unknown event %S" other)
 
 let stamped_to_json s =
@@ -529,8 +545,13 @@ let pp_stamped ppf s =
         Format.fprintf ppf
           "completed: makespan %.2fs, sojourn %.2fs (waited %.2fs)" makespan
           sojourn waited
+    | Rejected { reason = Overloaded { retry_after } } ->
+        Format.fprintf ppf "rejected (overloaded, retry after %.2fs)"
+          retry_after
     | Rejected { reason } ->
         Format.fprintf ppf "rejected (%s)" (reject_reason_name reason)
+    | Expired { waited } ->
+        Format.fprintf ppf "expired after waiting %.2fs in queue" waited
   in
   Format.fprintf ppf "[%10.2f] #%d %s/%s: %a" s.t s.job_id s.tenant s.job_name
     pp_event s.event

@@ -102,7 +102,13 @@ val run_local :
 
 (** {2 Events} *)
 
-type reject_reason = Queue_full | Tenant_quota
+type reject_reason =
+  | Queue_full
+  | Tenant_quota
+  | Overloaded of { retry_after : float }
+      (** Load shed above the admission watermark; [retry_after] is a
+          simulated-seconds backoff hint scaled by how far past the
+          watermark the queue is. *)
 
 val reject_reason_name : reject_reason -> string
 
@@ -127,6 +133,9 @@ type event =
       avoided : int;
     }
   | Rejected of { reason : reject_reason }
+  | Expired of { waited : float }
+      (** Dropped from the queue at its simulated queue-wait deadline,
+          having waited [waited] seconds without starting. *)
 
 type stamped = {
   t : float;  (** Simulated time of the event. *)

@@ -3,6 +3,7 @@ module Procset = Rats_util.Procset
 module Sim = Rats_sim.Engine
 module Journal = Rats_runtime.Journal
 module Pool = Rats_runtime.Pool
+module Fault = Rats_runtime.Fault
 module Schedule = Rats_core.Schedule
 module Rats = Rats_core.Rats
 module J = Rats_obs.Json
@@ -14,10 +15,17 @@ type config = {
   policy : Admission.policy;
   jobs : int option;
   clock : unit -> float;
+  fault : Fault.t option;
 }
 
 let default_config cluster =
-  { cluster; policy = Admission.default; jobs = None; clock = Instr.now_s }
+  {
+    cluster;
+    policy = Admission.default;
+    jobs = None;
+    clock = Instr.now_s;
+    fault = None;
+  }
 
 type job = {
   id : int;
@@ -33,6 +41,7 @@ type stats = {
   admitted : int;
   rejected : int;
   completed : int;
+  expired : int;
   queue_depth_max : int;
   busy_time : float;
   end_time : float;
@@ -57,6 +66,7 @@ type t = {
   mutable n_admitted : int;
   mutable n_rejected : int;
   mutable n_completed : int;
+  mutable n_expired : int;
   mutable queue_depth_max : int;
   mutable busy_time : float;
   mutable end_time : float;
@@ -80,6 +90,7 @@ let create ?journal config =
     n_admitted = 0;
     n_rejected = 0;
     n_completed = 0;
+    n_expired = 0;
     queue_depth_max = 0;
     busy_time = 0.;
     end_time = 0.;
@@ -131,7 +142,8 @@ let rec start_job t job grant schedule =
          procs = Procset.to_list grant;
          est_makespan = Schedule.makespan_estimated schedule;
        });
-  Replay.start t.sim ~schedule ~grant
+  Replay.start t.sim ~schedule ~grant ?fault:t.config.fault
+    ~fault_key:(string_of_int job.id)
     ~on_redistribution:(fun ~src_task ~dst_task ~bytes ~started ->
       emit t job (Api.Redistribution { src_task; dst_task; bytes; started }))
     ~on_complete:(fun (r : Replay.result) ->
@@ -171,6 +183,10 @@ and dispatch t =
   in
   let batch = take [] in
   if batch <> [] then begin
+    (* Wall-clock stall before the batch's schedules are computed;
+       simulated time and the event log are unaffected. *)
+    Fault.delay_point t.config.fault ~site:"engine.step"
+      ~key:(string_of_int t.next_seq);
     note_queue_depth t;
     let t0 = t.config.clock () in
     let schedules =
@@ -185,6 +201,21 @@ and dispatch t =
       (fun (job, grant) schedule -> start_job t job grant schedule)
       batch schedules
   end
+
+and expire t id =
+  (* Only fires if the job is still waiting: a started (or already
+     expired) job is no longer in the queue and the timer is a no-op. *)
+  match Jobq.remove t.queue ~f:(fun j -> j.id = id) with
+  | None -> ()
+  | Some job ->
+      adjust_outstanding t job.request.Api.tenant (-1);
+      t.n_expired <- t.n_expired + 1;
+      Metrics.incr Instr.server_jobs_expired;
+      emit t job (Api.Expired { waited = Sim.now t.sim -. job.arrival });
+      note_queue_depth t;
+      (* Dropping a queued job can unblock a younger same-tenant job the
+         FIFO lockout was holding back. *)
+      dispatch t
 
 (* --- arrivals ----------------------------------------------------------- *)
 
@@ -210,6 +241,11 @@ let arrive t job =
       Jobq.push t.queue ~tenant:job.request.Api.tenant job;
       emit t job (Api.Queued { depth = Jobq.depth t.queue });
       note_queue_depth t;
+      (match t.config.policy.Admission.deadline_s with
+      | Some d ->
+          let id = job.id in
+          Sim.at t.sim (Sim.now t.sim +. d) (fun _eng -> expire t id)
+      | None -> ());
       dispatch t
 
 (* --- submission --------------------------------------------------------- *)
@@ -320,6 +356,7 @@ let stats t =
     admitted = t.n_admitted;
     rejected = t.n_rejected;
     completed = t.n_completed;
+    expired = t.n_expired;
     queue_depth_max = t.queue_depth_max;
     busy_time = t.busy_time;
     end_time = t.end_time;

@@ -34,10 +34,16 @@ type config = {
   clock : unit -> float;
       (** Wall clock for scheduling-latency metrics only
           (e.g. {!Rats_obs.Instr.now_s}). *)
+  fault : Rats_runtime.Fault.t option;
+      (** Arms the engine's injection sites (["engine.step"] before each
+          dispatch batch, ["replay.task"] per task finish — both [Delay],
+          wall-clock only) and is passed to {!Replay.start}. [None]
+          disables injection; delay faults never change the event log. *)
 }
 
 val default_config : Rats_platform.Cluster.t -> config
-(** {!Admission.default}, pool-default [jobs], {!Rats_obs.Instr.now_s}. *)
+(** {!Admission.default}, pool-default [jobs], {!Rats_obs.Instr.now_s},
+    no fault injection. *)
 
 type t
 
@@ -90,6 +96,9 @@ type stats = {
   admitted : int;
   rejected : int;
   completed : int;
+  expired : int;
+      (** Jobs dropped at their queue-wait deadline
+          ([policy.deadline_s]). *)
   queue_depth_max : int;
   busy_time : float;
       (** Processor-seconds granted to completed jobs (grant size × hold

@@ -30,5 +30,18 @@ let pop t ~fits =
   in
   go [] [] ordered
 
+let remove t ~f =
+  let ordered = List.rev t.entries in
+  let rec go before = function
+    | [] -> None
+    | e :: rest ->
+        if f e.item then begin
+          t.entries <- List.rev_append rest before;
+          Some e.item
+        end
+        else go (e :: before) rest
+  in
+  go [] ordered
+
 let iter f t =
   List.iter (fun e -> f ~tenant:e.tenant e.item) (List.rev t.entries)

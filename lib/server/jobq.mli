@@ -26,5 +26,10 @@ val pop : 'a t -> fits:('a -> bool) -> 'a option
     no waiting job is eligible. Callers loop — re-evaluating [fits] against
     the shrinking residual platform — until [None]. *)
 
+val remove : 'a t -> f:('a -> bool) -> 'a option
+(** Removes and returns the first (oldest) job satisfying [f], preserving
+    the order of the rest — deadline expiry uses this to drop a job
+    without disturbing the queue. *)
+
 val iter : (tenant:string -> 'a -> unit) -> 'a t -> unit
 (** Front-to-back, for introspection. *)

@@ -98,6 +98,7 @@ type report = {
   jobs : int;
   completed : int;
   rejected : int;
+  expired : int;
   end_time : float;
   throughput : float;
   sojourn_mean : float;
@@ -121,6 +122,7 @@ let run engine p =
     jobs = s.Engine.submitted;
     completed = s.Engine.completed;
     rejected = s.Engine.rejected;
+    expired = s.Engine.expired;
     end_time;
     throughput =
       (if end_time > 0. then float_of_int s.Engine.completed /. end_time
@@ -137,6 +139,7 @@ let pp_report ppf r =
     "@[<v>jobs submitted     %d@,\
      jobs completed     %d@,\
      jobs rejected      %d@,\
+     jobs expired       %d@,\
      end of trace       %.2f s (simulated)@,\
      throughput         %.4f jobs/s@,\
      sojourn mean       %.2f s@,\
@@ -144,5 +147,6 @@ let pp_report ppf r =
      sojourn p99        %.2f s@,\
      utilization        %.1f%%@,\
      peak queue depth   %d@]"
-    r.jobs r.completed r.rejected r.end_time r.throughput r.sojourn_mean
-    r.sojourn_p50 r.sojourn_p99 (100. *. r.utilization) r.queue_depth_max
+    r.jobs r.completed r.rejected r.expired r.end_time r.throughput
+    r.sojourn_mean r.sojourn_p50 r.sojourn_p99 (100. *. r.utilization)
+    r.queue_depth_max

@@ -35,6 +35,7 @@ type report = {
   jobs : int;  (** Jobs submitted. *)
   completed : int;
   rejected : int;
+  expired : int;  (** Dropped at their queue-wait deadline. *)
   end_time : float;  (** Simulated completion time of the whole trace. *)
   throughput : float;  (** Completed jobs per simulated second. *)
   sojourn_mean : float;

@@ -8,6 +8,7 @@ type client_msg =
   | Drain
   | Log
   | Stats
+  | Health
   | Shutdown
 
 type server_msg =
@@ -19,6 +20,7 @@ type server_msg =
   | Drained of { end_time : float }
   | Log of Api.stamped list
   | Stats of J.t
+  | Healthy of J.t
   | Bye
   | Err of string
 
@@ -40,6 +42,7 @@ let client_to_json = function
   | Drain -> J.Obj [ ("op", J.Str "drain") ]
   | Log -> J.Obj [ ("op", J.Str "log") ]
   | Stats -> J.Obj [ ("op", J.Str "stats") ]
+  | Health -> J.Obj [ ("op", J.Str "health") ]
   | Shutdown -> J.Obj [ ("op", J.Str "shutdown") ]
 
 let client_of_json j =
@@ -52,6 +55,7 @@ let client_of_json j =
       | "drain" -> Ok Drain
       | "log" -> Ok Log
       | "stats" -> Ok Stats
+      | "health" -> Ok Health
       | "shutdown" -> Ok Shutdown
       | "plan" -> (
           match J.member "req" j with
@@ -90,6 +94,7 @@ let server_to_json = function
           ("events", J.Arr (List.map Api.stamped_to_json evs));
         ]
   | Stats s -> J.Obj [ ("re", J.Str "stats"); ("stats", s) ]
+  | Healthy h -> J.Obj [ ("re", J.Str "health"); ("health", h) ]
   | Bye -> J.Obj [ ("re", J.Str "bye") ]
   | Err msg -> J.Obj [ ("re", J.Str "error"); ("msg", J.Str msg) ]
 
@@ -136,6 +141,10 @@ let server_of_json j =
           match J.member "stats" j with
           | Some s -> Ok (Stats s)
           | None -> Error "stats: missing \"stats\"")
+      | "health" -> (
+          match J.member "health" j with
+          | Some h -> Ok (Healthy h)
+          | None -> Error "health: missing \"health\"")
       | "error" -> (
           match Option.bind (J.member "msg" j) J.to_str with
           | Some msg -> Ok (Err msg)

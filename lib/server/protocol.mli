@@ -25,6 +25,9 @@ type client_msg =
   | Drain  (** Run the simulation until every pending job completed. *)
   | Log  (** Full event log so far. *)
   | Stats  (** Engine statistics snapshot. *)
+  | Health
+      (** Daemon liveness/readiness snapshot ([Healthy]): degraded flag,
+          client/backlog/eviction counts. Served even when degraded. *)
   | Shutdown  (** Replied to with [Bye]; the daemon then exits. *)
 
 type server_msg =
@@ -36,6 +39,8 @@ type server_msg =
   | Drained of { end_time : float }
   | Log of Api.stamped list
   | Stats of Rats_obs.Json.t
+  | Healthy of Rats_obs.Json.t
+      (** Health snapshot, shape documented in docs/SERVER.md. *)
   | Bye
   | Err of string
 

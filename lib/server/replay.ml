@@ -5,6 +5,7 @@ module Redistribution = Rats_redist.Redistribution
 module Core = Rats_core
 module Schedule = Rats_core.Schedule
 module Problem = Rats_core.Problem
+module Fault = Rats_runtime.Fault
 
 type result = {
   start_time : float;
@@ -36,6 +37,8 @@ type state = {
   on_redistribution :
     src_task:int -> dst_task:int -> bytes:float -> started:float -> unit;
   on_complete : result -> unit;
+  fault : Fault.t option;
+  fault_key : string;
 }
 
 let build_queues schedule =
@@ -91,6 +94,10 @@ and try_start_on_proc st eng q =
   go 0
 
 and on_finish st eng task =
+  (* Wall-clock stall only: simulated time (and thus the event log) is
+     untouched, which is what makes delay faults byte-identity-safe. *)
+  Fault.delay_point st.fault ~site:"replay.task"
+    ~key:(Printf.sprintf "%s:%d" st.fault_key task);
   st.finished.(task) <- true;
   st.n_finished <- st.n_finished + 1;
   let e = Schedule.entry st.schedule task in
@@ -154,7 +161,7 @@ and on_finish st eng task =
       }
   end
 
-let start eng ~schedule ~grant
+let start eng ~schedule ~grant ?fault ?(fault_key = "")
     ?(on_redistribution = fun ~src_task:_ ~dst_task:_ ~bytes:_ ~started:_ -> ())
     ~on_complete () =
   let problem = Schedule.problem schedule in
@@ -182,6 +189,8 @@ let start eng ~schedule ~grant
       avoided = 0;
       on_redistribution;
       on_complete;
+      fault;
+      fault_key;
     }
   in
   (* Kick through the event queue (not inline) so start ordering between

@@ -30,6 +30,8 @@ val start :
   Rats_sim.Engine.t ->
   schedule:Rats_core.Schedule.t ->
   grant:Rats_util.Procset.t ->
+  ?fault:Rats_runtime.Fault.t ->
+  ?fault_key:string ->
   ?on_redistribution:
     (src_task:int -> dst_task:int -> bytes:float -> started:float -> unit) ->
   on_complete:(result -> unit) ->
@@ -40,4 +42,10 @@ val start :
     schedule's local processor [q] runs on [Procset.nth grant q].
     [on_redistribution] fires when a paid redistribution's last byte
     arrives (the engine's current time is the finish). [on_complete] fires
-    when every task has finished — the caller releases the grant there. *)
+    when every task has finished — the caller releases the grant there.
+
+    [fault] arms the ["replay.task"] [Delay] site: each task finish may
+    stall the {e wall clock} for the injected duration, keyed
+    ["<fault_key>:<task>"] ([fault_key] should identify the job, e.g. its
+    submission id). Simulated time is untouched, so the event log stays
+    byte-identical to an unfaulted run. *)

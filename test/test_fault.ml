@@ -280,6 +280,29 @@ let test_journal_torn_tail () =
         (Some "after recovery") (Journal.find j3 "c");
       Journal.close j3)
 
+let test_journal_injected_append_failure () =
+  with_dir (fun dir ->
+      (* An injected append failure behaves like a real I/O error: the
+         journal disables itself (service keeps running, resume guarantee
+         degrades) instead of raising into the caller. *)
+      let fault = fault_of_spec "seed=1,crash@journal.append=1" in
+      let j = Journal.open_ ~dir ~fault ~name:"inj" ~resume:false () in
+      check Alcotest.bool "writable when opened" true (Journal.writable j);
+      Journal.append j ~key:"a" "lost";
+      check Alcotest.bool "disabled after injected failure" false
+        (Journal.writable j);
+      (* Subsequent appends are silent no-ops on a disabled journal. *)
+      Journal.append j ~key:"b" "also lost";
+      check Alcotest.int "nothing recorded" 0 (Journal.appended j);
+      Journal.close j;
+      (* An unfaulted journal in the same dir is unaffected. *)
+      let j2 = Journal.open_ ~dir ~name:"inj" ~resume:true () in
+      check Alcotest.int "nothing to resume" 0 (Journal.loaded j2);
+      check Alcotest.bool "fresh journal writable" true (Journal.writable j2);
+      Journal.append j2 ~key:"c" "kept";
+      check Alcotest.int "append works" 1 (Journal.appended j2);
+      Journal.close j2)
+
 (* --- crash + resume -------------------------------------------------------- *)
 
 (* A sweep killed mid-run leaves a journal of completed configurations;
@@ -388,6 +411,8 @@ let () =
             test_journal_roundtrip;
           Alcotest.test_case "torn tail truncated on resume" `Quick
             test_journal_torn_tail;
+          Alcotest.test_case "injected append failure disables journal"
+            `Quick test_journal_injected_append_failure;
         ] );
       ( "resume",
         [

@@ -13,8 +13,10 @@ module Suite = Rats_daggen.Suite
 module Shape = Rats_daggen.Shape
 module Cluster = Rats_platform.Cluster
 module Journal = Rats_runtime.Journal
+module Fault = Rats_runtime.Fault
 module Core = Rats_core
 module J = Rats_obs.Json
+module Seeded = Rats_test_support.Seeded
 
 let check = Alcotest.check
 
@@ -145,6 +147,8 @@ let test_event_roundtrip () =
         };
       Api.Rejected { reason = Api.Queue_full };
       Api.Rejected { reason = Api.Tenant_quota };
+      Api.Rejected { reason = Api.Overloaded { retry_after = 2.5 } };
+      Api.Expired { waited = 31.75 };
     ]
   in
   List.iteri
@@ -173,6 +177,7 @@ let test_protocol_roundtrip () =
       Protocol.Drain;
       Protocol.Log;
       Protocol.Stats;
+      Protocol.Health;
       Protocol.Shutdown;
     ]
   in
@@ -202,6 +207,8 @@ let test_protocol_roundtrip () =
       Protocol.Drained { end_time = 54.25 };
       Protocol.Log [ stamped; { stamped with Api.seq = 10 } ];
       Protocol.Stats (J.Obj [ ("completed", J.Num 3.) ]);
+      Protocol.Healthy
+        (J.Obj [ ("ready", J.Bool true); ("degraded", J.Bool false) ]);
       Protocol.Bye;
       Protocol.Err "nope";
     ]
@@ -258,6 +265,110 @@ let test_decoder_chunked () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "decoder error not sticky"
 
+(* Fuzz: the decoder must never raise, must decode a valid prefix intact,
+   and must turn any byte damage into a sticky error — regardless of how
+   the stream is chunked. This is the offline twin of the daemon's
+   [server.read] corruption site. *)
+let decoder_fuzz_test =
+  let open QCheck2 in
+  let frames =
+    [|
+      Protocol.to_frame (Protocol.client_to_json Protocol.Ping);
+      Protocol.to_frame (Protocol.client_to_json Protocol.Watch);
+      Protocol.to_frame
+        (Protocol.client_to_json
+           (Protocol.Submit
+              { at = Some 2.; request = request ~tenant:"fuzz" (fft 2 0) }));
+      Protocol.to_frame (Protocol.server_to_json (Protocol.Ack { id = 9 }));
+      Protocol.to_frame
+        (Protocol.server_to_json (Protocol.Drained { end_time = 1.5 }));
+    |]
+  in
+  let gen =
+    Gen.(
+      let* picks = list_size (int_range 1 6) (int_range 0 4) in
+      let* cuts = list_size (int_range 0 12) (int_range 0 4096) in
+      let* damage =
+        opt (pair (int_range 0 4096) (int_range 1 255))
+        (* position, xor mask *)
+      in
+      return (picks, cuts, damage))
+  in
+  let prop (picks, cuts, damage) =
+    let stream = String.concat "" (List.map (fun i -> frames.(i)) picks) in
+    let stream, damaged_at =
+      match damage with
+      | Some (pos, mask) when pos < String.length stream ->
+          let b = Bytes.of_string stream in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+          (Bytes.to_string b, Some pos)
+      | _ -> (stream, None)
+    in
+    (* Split points define the chunking; the decoder must not care. *)
+    let splits =
+      List.sort_uniq compare
+        (0 :: String.length stream
+        :: List.filter (fun c -> c <= String.length stream) cuts)
+    in
+    let dec = Protocol.Decoder.create () in
+    let decoded = ref 0 in
+    let errored = ref false in
+    let rec pop () =
+      if not !errored then
+        match Protocol.Decoder.next dec with
+        | Ok (Some _) ->
+            incr decoded;
+            pop ()
+        | Ok None -> ()
+        | Error _ -> errored := true
+    in
+    let rec feed = function
+      | a :: (b :: _ as rest) ->
+          Protocol.Decoder.feed dec (Bytes.of_string stream) a (b - a);
+          pop ();
+          feed rest
+      | _ -> ()
+    in
+    feed splits;
+    (* Frames wholly before any damage must have decoded; an intact
+       stream must decode completely without error. *)
+    let intact_prefix =
+      let limit =
+        match damaged_at with
+        | None -> String.length stream
+        | Some pos -> pos
+      in
+      let rec count off n = function
+        | [] -> n
+        | i :: rest ->
+            let off' = off + String.length frames.(i) in
+            if off' <= limit then count off' (n + 1) rest else n
+      in
+      count 0 0 picks
+    in
+    (match damaged_at with
+    | None ->
+        if !errored then Test.fail_report "error on an undamaged stream";
+        if !decoded <> List.length picks then
+          Test.fail_reportf "decoded %d of %d undamaged frames" !decoded
+            (List.length picks)
+    | Some _ ->
+        (* Damage may hit a length prefix (error), a payload (error from
+           the JSON parser) or may even keep the JSON well-formed; the
+           only hard guarantees are prefix delivery and no crash. *)
+        if !decoded < intact_prefix then
+          Test.fail_reportf "decoded %d, expected at least %d before damage"
+            !decoded intact_prefix);
+    (* Sticky: after an error, next never yields a document again. *)
+    if !errored then
+      (match Protocol.Decoder.next dec with
+      | Error _ -> ()
+      | Ok _ -> Test.fail_report "decoder error not sticky");
+    true
+  in
+  Seeded.to_alcotest
+    (Test.make ~name:"decoder fuzz (split + corrupt)" ~count:500 gen prop)
+
 (* --- validation and admission -------------------------------------------- *)
 
 let test_validate () =
@@ -296,12 +407,18 @@ let test_validate () =
           }))
 
 let test_admission_policy () =
-  let policy = Admission.make ~queue_limit:3 ~tenant_limit:2 in
+  let policy = Admission.make ~queue_limit:3 ~tenant_limit:2 () in
   let decide ~queue_depth ~tenant_outstanding =
     Admission.decide policy ~queue_depth ~tenant_outstanding
   in
   check Alcotest.bool "accepts" true
     (decide ~queue_depth:0 ~tenant_outstanding:0 = Admission.Accept);
+  (* Boundary: one below each limit is still in. *)
+  check Alcotest.bool "queue one below limit" true
+    (decide ~queue_depth:2 ~tenant_outstanding:0 = Admission.Accept);
+  check Alcotest.bool "tenant one below quota" true
+    (decide ~queue_depth:0 ~tenant_outstanding:1 = Admission.Accept);
+  (* Boundary: exactly at each limit is out. *)
   check Alcotest.bool "queue full" true
     (decide ~queue_depth:3 ~tenant_outstanding:0
     = Admission.Reject Api.Queue_full);
@@ -310,6 +427,51 @@ let test_admission_policy () =
     = Admission.Reject Api.Tenant_quota);
   check Alcotest.bool "tenant quota wins" true
     (decide ~queue_depth:3 ~tenant_outstanding:2
+    = Admission.Reject Api.Tenant_quota);
+  (* With the default watermark of 1.0 shedding never preempts the hard
+     queue_full check. *)
+  check Alcotest.int "threshold capped at queue_limit" 3
+    (Admission.shed_threshold policy);
+  (* Constructor validation. *)
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : Admission.policy) -> Alcotest.fail "invalid policy accepted"
+  in
+  invalid (fun () -> Admission.make ~queue_limit:0 ~tenant_limit:1 ());
+  invalid (fun () -> Admission.make ~queue_limit:1 ~tenant_limit:0 ());
+  invalid (fun () ->
+      Admission.make ~shed_watermark:0. ~queue_limit:1 ~tenant_limit:1 ());
+  invalid (fun () ->
+      Admission.make ~shed_watermark:1.5 ~queue_limit:1 ~tenant_limit:1 ());
+  invalid (fun () ->
+      Admission.make ~retry_after_s:0. ~queue_limit:1 ~tenant_limit:1 ());
+  invalid (fun () ->
+      Admission.make ~deadline_s:(-1.) ~queue_limit:1 ~tenant_limit:1 ())
+
+let test_admission_shedding () =
+  let policy =
+    Admission.make ~shed_watermark:0.5 ~retry_after_s:2. ~queue_limit:10
+      ~tenant_limit:10 ()
+  in
+  let decide queue_depth =
+    Admission.decide policy ~queue_depth ~tenant_outstanding:0
+  in
+  check Alcotest.int "threshold = ceil(0.5 * 10)" 5
+    (Admission.shed_threshold policy);
+  check Alcotest.bool "below watermark accepts" true
+    (decide 4 = Admission.Accept);
+  (* At the threshold the retry hint starts at one base unit and grows
+     linearly with the overshoot — deeper queue, longer backoff. *)
+  check Alcotest.bool "at watermark sheds" true
+    (decide 5 = Admission.Reject (Api.Overloaded { retry_after = 2. }));
+  check Alcotest.bool "overshoot scales the hint" true
+    (decide 8 = Admission.Reject (Api.Overloaded { retry_after = 8. }));
+  (* The hard limit still wins over shedding at full depth. *)
+  check Alcotest.bool "hard limit past watermark" true
+    (decide 10 = Admission.Reject Api.Queue_full);
+  (* A tenant over quota is never offered a retry hint. *)
+  check Alcotest.bool "tenant quota beats shedding" true
+    (Admission.decide policy ~queue_depth:7 ~tenant_outstanding:10
     = Admission.Reject Api.Tenant_quota)
 
 let test_jobq () =
@@ -330,6 +492,35 @@ let test_jobq () =
   check Alcotest.(option int) "fifo 2" (Some 2) (Jobq.pop q ~fits);
   check Alcotest.(option int) "fifo 3" (Some 4) (Jobq.pop q ~fits);
   check Alcotest.(option int) "empty" None (Jobq.pop q ~fits)
+
+let test_jobq_remove () =
+  let q = Jobq.create () in
+  Jobq.push q ~tenant:"a" 1;
+  Jobq.push q ~tenant:"b" 2;
+  Jobq.push q ~tenant:"a" 3;
+  Jobq.push q ~tenant:"a" 1;
+  (* [remove] takes the oldest match only and keeps the rest in order. *)
+  check Alcotest.(option int) "removes oldest match" (Some 1)
+    (Jobq.remove q ~f:(fun x -> x = 1));
+  check Alcotest.int "depth after removal" 3 (Jobq.depth q);
+  check Alcotest.int "tenant depth after removal" 2 (Jobq.tenant_depth q "a");
+  check Alcotest.(option int) "no match" None
+    (Jobq.remove q ~f:(fun x -> x = 99));
+  let fits _ = true in
+  check Alcotest.(option int) "order preserved 1" (Some 2) (Jobq.pop q ~fits);
+  check Alcotest.(option int) "order preserved 2" (Some 3) (Jobq.pop q ~fits);
+  check Alcotest.(option int) "duplicate survives" (Some 1) (Jobq.pop q ~fits);
+  check Alcotest.(option int) "drained" None (Jobq.pop q ~fits);
+  (* Removing a blocked tenant-head unblocks that tenant's next job. *)
+  let q = Jobq.create () in
+  Jobq.push q ~tenant:"a" 10;
+  Jobq.push q ~tenant:"a" 11;
+  let fits x = x <> 10 in
+  check Alcotest.(option int) "head blocks its tenant" None (Jobq.pop q ~fits);
+  check Alcotest.(option int) "expire the head" (Some 10)
+    (Jobq.remove q ~f:(fun x -> x = 10));
+  check Alcotest.(option int) "successor unblocked" (Some 11)
+    (Jobq.pop q ~fits)
 
 (* --- online engine ------------------------------------------------------- *)
 
@@ -419,7 +610,7 @@ let test_engine_invariants () =
 
 let test_engine_rejections () =
   let cluster = Cluster.chti in
-  let policy = Admission.make ~queue_limit:64 ~tenant_limit:2 in
+  let policy = Admission.make ~queue_limit:64 ~tenant_limit:2 () in
   let engine =
     Engine.create { (config cluster) with Engine.policy }
   in
@@ -447,6 +638,77 @@ let test_engine_rejections () =
       (Engine.events engine)
   in
   check Alcotest.int "rejection events" 3 (List.length rejections)
+
+let test_engine_deadline_expiry () =
+  let cluster = Cluster.chti in
+  (* A queue-wait deadline far below any makespan: whole-platform jobs
+     serialize, so of a simultaneous burst only the first ever runs — the
+     rest are still waiting when their deadline fires. *)
+  let deadline = 1e-3 in
+  let policy =
+    Admission.make ~deadline_s:deadline ~queue_limit:64 ~tenant_limit:64 ()
+  in
+  let run () =
+    let engine = Engine.create { (config cluster) with Engine.policy } in
+    for _ = 1 to 4 do
+      match Engine.submit engine ~at:0. (request ~tenant:"t" (fft 2 0)) with
+      | Ok (_ : int) -> ()
+      | Error e -> Alcotest.failf "submit failed: %s" e
+    done;
+    ignore (Engine.drain engine);
+    engine
+  in
+  let engine = run () in
+  let stats = Engine.stats engine in
+  check Alcotest.int "submitted" 4 stats.Engine.submitted;
+  check Alcotest.int "admitted" 4 stats.Engine.admitted;
+  check Alcotest.int "head of burst completed" 1 stats.Engine.completed;
+  check Alcotest.int "waiting tail expired" 3 stats.Engine.expired;
+  check Alcotest.int "every job accounted for" 4
+    (stats.Engine.completed + stats.Engine.rejected + stats.Engine.expired);
+  (* Expiry events carry the queue wait, which is exactly the deadline. *)
+  let expiries =
+    List.filter_map
+      (fun ev ->
+        match ev.Api.event with
+        | Api.Expired { waited } -> Some (ev.Api.t, waited)
+        | _ -> None)
+      (Engine.events engine)
+  in
+  check Alcotest.int "expiry events match stats" stats.Engine.expired
+    (List.length expiries);
+  List.iter
+    (fun (t, waited) ->
+      check (Alcotest.float 1e-9) "waited = deadline" deadline waited;
+      check (Alcotest.float 1e-9) "stamped at arrival + deadline" deadline t)
+    expiries;
+  (* Expiry is part of the deterministic event log. *)
+  check Alcotest.bool "deterministic" true
+    (log_string engine = log_string (run ()))
+
+let test_engine_delay_faults_invariant () =
+  (* Delay faults stall the wall clock only: with every delay site firing
+     at p=1 the event log must stay byte-identical to the unfaulted run.
+     delay_s is kept microscopic so the test doesn't actually wait. *)
+  let cluster = Cluster.chti in
+  let profile = { (small_profile cluster) with Load.n_jobs = 8 } in
+  let fault =
+    match
+      Fault.parse
+        "seed=1,delay_s=0.0001,delay@engine.step=1,delay@replay.task=1"
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "fault spec rejected: %s" e
+  in
+  let run fault =
+    let engine =
+      Engine.create { (config cluster) with Engine.fault }
+    in
+    ignore (Load.run engine profile);
+    log_string engine
+  in
+  check Alcotest.bool "delay faults never change the log" true
+    (run None = run (Some fault))
 
 let test_engine_matches_evaluate () =
   (* A single job on the whole platform must behave exactly like the
@@ -540,18 +802,25 @@ let () =
           Alcotest.test_case "protocol roundtrip" `Quick
             test_protocol_roundtrip;
           Alcotest.test_case "chunked decoder" `Quick test_decoder_chunked;
+          decoder_fuzz_test;
         ] );
       ( "admission",
         [
           Alcotest.test_case "validate" `Quick test_validate;
           Alcotest.test_case "policy" `Quick test_admission_policy;
+          Alcotest.test_case "shedding" `Quick test_admission_shedding;
           Alcotest.test_case "jobq" `Quick test_jobq;
+          Alcotest.test_case "jobq remove" `Quick test_jobq_remove;
         ] );
       ( "engine",
         [
           Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
           Alcotest.test_case "invariants" `Quick test_engine_invariants;
           Alcotest.test_case "rejections" `Quick test_engine_rejections;
+          Alcotest.test_case "deadline expiry" `Quick
+            test_engine_deadline_expiry;
+          Alcotest.test_case "delay faults log-invariant" `Quick
+            test_engine_delay_faults_invariant;
           Alcotest.test_case "matches offline evaluator" `Quick
             test_engine_matches_evaluate;
           Alcotest.test_case "journal resume" `Quick test_journal_resume;

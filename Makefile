@@ -16,6 +16,9 @@
 #   make chaos-smoke        ratsd under fire: delay faults + kill -9 mid-trace
 #                           (bit-exact resume), slow-client eviction, overload
 #                           shedding/deadlines, corrupt/disconnect survival
+#   make workload-smoke     workload.exe three-arm study: same-seed byte
+#                           determinism, save-trace/replay round-trip, worker
+#                           independence
 #   make flags-check        diff README's CLI flag table against each binary's
 #                           --help
 #   make lint               rats_lint static analysis (determinism & hygiene
@@ -24,8 +27,8 @@
 #   make salt-check         warn when lib/{sim,core,dag,redist} changed
 #                           without a Cache.version bump (STRICT=1 to fail)
 #   make check              build + tier-1 tests + lint + trace-smoke +
-#                           server-smoke + chaos-smoke + flags-check +
-#                           advisory salt-check
+#                           server-smoke + chaos-smoke + workload-smoke +
+#                           flags-check + advisory salt-check
 #   make clean-cache        drop the on-disk result cache and journal
 #                           (bench_results/.cache, bench_results/.journal)
 #   make clean              dune clean
@@ -34,7 +37,8 @@ JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
 .PHONY: build test test-fault bench-smoke bench-resume-smoke trace-smoke \
-  server-smoke chaos-smoke flags-check lint salt-check check clean-cache clean
+  server-smoke chaos-smoke workload-smoke flags-check lint salt-check check \
+  clean-cache clean
 
 build:
 	dune build
@@ -90,6 +94,12 @@ server-smoke: build
 chaos-smoke: build
 	tools/chaos_smoke.sh
 
+# Multi-tenant workload engine acceptance: a small three-arm study must be
+# byte-deterministic across reruns, survive a save-trace/replay round-trip
+# unchanged, and be independent of the worker-pool size (docs/WORKLOAD.md).
+workload-smoke: build
+	tools/workload_smoke.sh
+
 flags-check: build
 	tools/flags_check.sh
 
@@ -107,6 +117,7 @@ check: build
 	$(MAKE) trace-smoke
 	$(MAKE) server-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) workload-smoke
 	$(MAKE) flags-check
 	$(MAKE) salt-check
 

@@ -5,7 +5,8 @@
    Usage: main.exe [-j N|--jobs N] [--retries N] [--timeout S] [--resume]
                    [--strict] [--trace FILE] [--metrics FILE] [-h|--help]
                    [table1|table2|table3|fig2|fig3|fig4|fig5|table4|fig6|
-                    fig7|table5|table6|ablations|ccr|autotune|micro|all]
+                    fig7|table5|table6|ablations|ccr|autotune|workload|
+                    micro|all]
    (default: all)
 
    RATS_SCALE=smoke (default, 149 configurations) or paper (the full 557).
@@ -215,6 +216,48 @@ let run_autotune () =
     (fun (name, v) -> Format.fprintf ppf "  %-18s %.3f@." name v)
     rows
 
+(* --- Workload studies --------------------------------------------------- *)
+
+(* Tight enough that the bursty/diurnal/mixed profiles exercise rejection
+   and expiry, loose enough that the pure poisson profile completes clean —
+   the same arrival traces tell both stories. *)
+let workload_policy =
+  Rats_server.Admission.make ~deadline_s:400. ~queue_limit:32 ~tenant_limit:8
+    ()
+
+let workload_profiles = [ "poisson"; "bursty"; "diurnal"; "mixed" ]
+
+let run_workload () =
+  section "Workload studies";
+  let module Study = Rats_workload_study.Study in
+  let cluster = Cluster.grillon in
+  ensure_results_dir ();
+  List.iter
+    (fun name ->
+      let profile =
+        match Rats_workload.Profile.of_string ~cluster name with
+        | Ok p -> p
+        | Error e -> failwith ("workload profile: " ^ e)
+      in
+      let reports =
+        timed (name ^ " study") (fun () ->
+            Study.run ~policy:workload_policy ~cluster profile)
+      in
+      List.iter
+        (fun (r : Rats_workload.Report.t) ->
+          Format.fprintf ppf
+            "  %-8s %-9s completed %3d/%3d  p99 sojourn %7.1f s  fairness \
+             %.3f  utilization %4.1f%%@."
+            name r.Rats_workload.Report.arm r.Rats_workload.Report.completed
+            r.Rats_workload.Report.jobs r.Rats_workload.Report.sojourn_p99
+            r.Rats_workload.Report.fairness
+            (100. *. r.Rats_workload.Report.utilization))
+        reports;
+      let path = Filename.concat results_dir ("workload_" ^ name ^ ".csv") in
+      Study.write_csv path reports;
+      Format.fprintf ppf "(full data: %s)@." path)
+    workload_profiles
+
 (* --- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro_tests () =
@@ -299,6 +342,7 @@ let targets =
     ("ablations", run_ablations);
     ("ccr", run_ccr);
     ("autotune", run_autotune);
+    ("workload", run_workload);
     ("micro", run_micro);
   ]
 

@@ -196,6 +196,20 @@ let server_events_shed =
   Metrics.counter "rats_server_events_shed_total"
     ~help:"Event frames dropped instead of queued while the daemon was degraded"
 
+(* --- workload ----------------------------------------------------------- *)
+
+let workload_traces =
+  Metrics.counter "rats_workload_traces_compiled_total"
+    ~help:"Multi-tenant arrival traces compiled by the workload engine"
+
+let workload_jobs =
+  Metrics.counter "rats_workload_jobs_generated_total"
+    ~help:"Jobs generated into workload arrival traces"
+
+let workload_arm_runs =
+  Metrics.counter "rats_workload_arm_runs_total"
+    ~help:"Study arms (scheduler x trace) driven through the online engine"
+
 (* --- helpers ------------------------------------------------------------ *)
 
 let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9

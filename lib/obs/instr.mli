@@ -118,6 +118,18 @@ val server_clients_evicted : Metrics.counter
 val server_events_shed : Metrics.counter
 (** Event frames dropped (not queued) while [ratsd] was degraded. *)
 
+(** {2 Workload engine ([Rats_workload] via [bin/workload] and the bench)} *)
+
+val workload_traces : Metrics.counter
+(** Arrival traces compiled ([Rats_workload.Trace.compile] calls). *)
+
+val workload_jobs : Metrics.counter
+(** Jobs generated into arrival traces, across every compile. *)
+
+val workload_arm_runs : Metrics.counter
+(** Study arms driven through the online engine
+    ([Rats_workload_study.Study.run_arm] calls). *)
+
 (** {2 Helpers} *)
 
 val now_s : unit -> float

@@ -16,6 +16,7 @@ type config = {
   jobs : int option;
   clock : unit -> float;
   fault : Fault.t option;
+  planner : (cluster:Cluster.t -> Api.request -> Schedule.t) option;
 }
 
 let default_config cluster =
@@ -25,6 +26,7 @@ let default_config cluster =
     jobs = None;
     clock = Instr.now_s;
     fault = None;
+    planner = None;
   }
 
 type job = {
@@ -193,7 +195,9 @@ and dispatch t =
       Pool.map ?jobs:t.config.jobs
         (fun (job, grant) ->
           let share = Api.subcluster t.config.cluster (Procset.size grant) in
-          Api.plan ~cluster:share job.request)
+          match t.config.planner with
+          | Some plan -> plan ~cluster:share job.request
+          | None -> Api.plan ~cluster:share job.request)
         batch
     in
     Metrics.observe Instr.server_schedule_seconds (t.config.clock () -. t0);

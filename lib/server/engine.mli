@@ -39,11 +39,24 @@ type config = {
           dispatch batch, ["replay.task"] per task finish — both [Delay],
           wall-clock only) and is passed to {!Replay.start}. [None]
           disables injection; delay faults never change the event log. *)
+  planner :
+    (cluster:Rats_platform.Cluster.t ->
+     Api.request ->
+     Rats_core.Schedule.t)
+    option;
+      (** Per-job planning hook, called with the job's granted share
+          exactly where {!Api.plan} would run (inside the dispatch batch's
+          [Pool.map]). [None] = {!Api.plan} with the request's own
+          strategy. Study runners use it to pin every job of an arm to one
+          scheduler (including non-RATS planners such as the
+          packing-constrained greedy baseline) without rewriting the
+          trace. Must be deterministic for the event-log guarantee to
+          hold. *)
 }
 
 val default_config : Rats_platform.Cluster.t -> config
 (** {!Admission.default}, pool-default [jobs], {!Rats_obs.Instr.now_s},
-    no fault injection. *)
+    no fault injection, no planner override. *)
 
 type t
 

@@ -1,9 +1,9 @@
-module Rng = Rats_util.Rng
 module Stats = Rats_util.Stats
 module Cluster = Rats_platform.Cluster
-module Suite = Rats_daggen.Suite
-module Shape = Rats_daggen.Shape
 module Rats = Rats_core.Rats
+module W_app = Rats_workload.App
+module W_profile = Rats_workload.Profile
+module W_trace = Rats_workload.Trace
 
 type profile = {
   n_jobs : int;
@@ -27,29 +27,6 @@ let default_profile cluster =
     procs_max = n;
   }
 
-(* Small configurations only: the driver's point is service dynamics, not
-   giant DAGs. *)
-let spec_pool =
-  [|
-    Suite.Layered
-      {
-        n_tasks = 25;
-        shape = Shape.make ~width:0.5 ~regularity:0.8 ~density:0.2 ();
-      };
-    Suite.Layered
-      {
-        n_tasks = 25;
-        shape = Shape.make ~width:0.2 ~regularity:0.2 ~density:0.8 ();
-      };
-    Suite.Irregular
-      {
-        n_tasks = 25;
-        shape = Shape.make ~width:0.5 ~regularity:0.2 ~density:0.2 ~jump:2 ();
-      };
-    Suite.Fft { k = 2 };
-    Suite.Strassen;
-  |]
-
 let validate p =
   if p.n_jobs < 1 then invalid_arg "Load: n_jobs < 1";
   if p.n_tenants < 1 then invalid_arg "Load: n_tenants < 1";
@@ -57,42 +34,41 @@ let validate p =
   if p.procs_min < 1 || p.procs_max < p.procs_min then
     invalid_arg "Load: bad procs range"
 
-let trace p =
+let workload_profile p =
   validate p;
-  let per_tenant_rate = p.rate /. float_of_int p.n_tenants in
-  let arrivals = ref [] in
-  for tenant = 0 to p.n_tenants - 1 do
-    (* Per-tenant stream: adding tenants never perturbs existing ones. *)
-    let rng = Rng.create (p.seed + (7919 * tenant)) in
-    let tenant_name = Printf.sprintf "tenant-%d" tenant in
-    (* Tenant [i] submits every [n_tenants]-th job of the total. *)
-    let jobs =
-      (p.n_jobs / p.n_tenants)
-      + if tenant < p.n_jobs mod p.n_tenants then 1 else 0
-    in
-    let t = ref 0. in
-    for i = 0 to jobs - 1 do
-      let u = Rng.float rng 1. in
-      t := !t +. (-.log (1. -. u) /. per_tenant_rate);
-      let spec = spec_pool.(Rng.int rng (Array.length spec_pool)) in
-      let sample = Rng.int_range rng 0 2 in
-      let procs = Rng.int_range rng p.procs_min p.procs_max in
-      let request =
-        {
-          Api.tenant = tenant_name;
-          job = Api.Generated { Suite.spec; sample };
-          strategy = p.strategy;
-          procs;
-        }
-      in
-      ignore i;
-      arrivals := (!t, request) :: !arrivals
-    done
-  done;
-  List.sort
-    (fun ((t1 : float), (r1 : Api.request)) (t2, (r2 : Api.request)) ->
-      compare (t1, r1.Api.tenant) (t2, r2.Api.tenant))
-    !arrivals
+  W_profile.service ~n_jobs:p.n_jobs ~n_tenants:p.n_tenants ~rate:p.rate
+    ~seed:p.seed ~strategy:p.strategy ~procs_min:p.procs_min
+    ~procs_max:p.procs_max ()
+
+let request_of_job (job : W_trace.job) =
+  let spec =
+    match job.W_trace.app with
+    | W_app.Generated config -> Api.Generated config
+    | W_app.Chain p ->
+        let tasks =
+          Array.map
+            (fun (data_elements, flop, alpha) ->
+              { Api.data_elements; flop; alpha })
+            (W_app.pipeline_task_params p)
+        in
+        let edges =
+          List.map
+            (fun (src, dst, bytes) -> { Api.src; dst; bytes })
+            (W_app.pipeline_edges p)
+        in
+        Api.Inline { name = W_app.name job.W_trace.app; tasks; edges }
+  in
+  {
+    Api.tenant = job.W_trace.tenant;
+    job = spec;
+    strategy = job.W_trace.strategy;
+    procs = job.W_trace.procs;
+  }
+
+let trace p =
+  let jobs = W_trace.compile (workload_profile p) in
+  Array.to_list
+    (Array.map (fun job -> (job.W_trace.at, request_of_job job)) jobs)
 
 type report = {
   jobs : int;

@@ -8,10 +8,15 @@
     profile, same platform ⇒ byte-identical event log — so
     [ratsd --selftest] doubles as a determinism check.
 
-    Each tenant is an independent Poisson process of rate
-    [rate /. n_tenants] (exponential interarrivals via inverse transform)
-    drawing its jobs from small suite configurations and its share sizes
-    uniformly from [\[procs_min, procs_max\]]. *)
+    Since the workload engine landed this module is a thin shim: a
+    {!profile} maps to {!Rats_workload.Profile.service} (each tenant an
+    independent Poisson process of rate [rate /. n_tenants] over the
+    small-configuration service mix, shares uniform in
+    [\[procs_min, procs_max\]]) and the trace comes from
+    {!Rats_workload.Trace.compile} — bit-compatible with the historical
+    inline generator, draw for draw. The conversion from workload jobs
+    to service requests ({!request_of_job}) lives here because the
+    workload library sits below the service API. *)
 
 type profile = {
   n_jobs : int;  (** Total jobs across all tenants. *)
@@ -26,6 +31,16 @@ type profile = {
 val default_profile : Rats_platform.Cluster.t -> profile
 (** 120 jobs from 4 tenants at 0.05 jobs/s with the naive delta strategy,
     shares between a quarter and the whole platform, seed 42. *)
+
+val workload_profile : profile -> Rats_workload.Profile.t
+(** The workload-engine profile this driver profile denotes. Raises
+    [Invalid_argument] on non-positive job counts, tenants or rate, or a
+    bad procs range. *)
+
+val request_of_job : Rats_workload.Trace.job -> Api.request
+(** Converts a compiled workload job to a service request: suite
+    applications submit as [Api.Generated], pipeline chains as
+    [Api.Inline] task/edge definitions. *)
 
 val trace : profile -> (float * Api.request) list
 (** The arrival trace alone (time, request), sorted by time — what {!run}

@@ -63,6 +63,35 @@ let percentile xs p =
     end
   end
 
+let mean_std xs =
+  (* Welford's online algorithm: one pass, no catastrophic cancellation on
+     large offsets — the streaming-moments form the workload reports use. *)
+  let n = Array.length xs in
+  if n = 0 then (0., 0.)
+  else begin
+    let mean = ref 0. in
+    let m2 = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = x -. !mean in
+        mean := !mean +. (d /. float_of_int (i + 1));
+        m2 := !m2 +. (d *. (x -. !mean)))
+      xs;
+    (!mean, if n < 2 then 0. else sqrt (!m2 /. float_of_int n))
+  end
+
+let jain_fairness xs =
+  let n = Array.length xs in
+  if n = 0 then 1.
+  else begin
+    Array.iter
+      (fun x -> if x < 0. then invalid_arg "Stats.jain_fairness: negative value")
+      xs;
+    let s = Array.fold_left ( +. ) 0. xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if s2 = 0. then 1. else s *. s /. (float_of_int n *. s2)
+  end
+
 let fraction_below xs x =
   let n = Array.length xs in
   if n = 0 then 0.

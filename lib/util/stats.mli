@@ -22,6 +22,19 @@ val percentile : float array -> float -> float
     [percentile xs 50. = median xs]). 0 on the empty array; raises
     [Invalid_argument] on [p] outside the range. *)
 
+val mean_std : float array -> float * float
+(** One-pass (mean, population standard deviation) via Welford's streaming
+    moments — numerically stable on large offsets, and
+    [mean_std xs = (mean xs, stddev xs)] up to rounding. (0, 0) on the
+    empty array; the deviation is 0 for arrays of length < 2. *)
+
+val jain_fairness : float array -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)] over non-negative allocations:
+    1 when every value is equal (perfect fairness), [1/n] when a single
+    value holds everything. By convention 1 on the empty and the all-zero
+    array (nothing is shared unfairly). Raises [Invalid_argument] on a
+    negative value. *)
+
 val fraction_below : float array -> float -> float
 (** [fraction_below xs x] is the fraction of elements strictly below [x]. *)
 

@@ -1,0 +1,104 @@
+module Stats = Rats_util.Stats
+
+type per_tenant = {
+  tenant : string;
+  submitted : int;
+  completed : int;
+  rejected : int;
+  expired : int;
+  sojourns : float array;
+}
+
+type t = {
+  profile : string;
+  arm : string;
+  jobs : int;
+  completed : int;
+  rejected : int;
+  expired : int;
+  end_time : float;
+  throughput : float;
+  sojourn_mean : float;
+  sojourn_std : float;
+  sojourn_p50 : float;
+  sojourn_p99 : float;
+  sojourn_p999 : float;
+  fairness : float;
+  utilization : float;
+  queue_depth_max : int;
+  tenants : per_tenant list;
+}
+
+let make ~profile ~arm ~end_time ~utilization ~queue_depth_max tenants =
+  let sum f = List.fold_left (fun acc (pt : per_tenant) -> acc + f pt) 0 tenants in
+  let jobs = sum (fun pt -> pt.submitted) in
+  let completed = sum (fun pt -> pt.completed) in
+  let rejected = sum (fun pt -> pt.rejected) in
+  let expired = sum (fun pt -> pt.expired) in
+  let sojourns =
+    Array.concat (List.map (fun (pt : per_tenant) -> pt.sojourns) tenants)
+  in
+  let mean, std = Stats.mean_std sojourns in
+  let fairness =
+    Stats.jain_fairness
+      (Array.of_list
+         (List.map
+            (fun (pt : per_tenant) -> float_of_int pt.completed)
+            tenants))
+  in
+  {
+    profile;
+    arm;
+    jobs;
+    completed;
+    rejected;
+    expired;
+    end_time;
+    throughput =
+      (if end_time > 0. then float_of_int completed /. end_time else 0.);
+    sojourn_mean = mean;
+    sojourn_std = std;
+    sojourn_p50 = Stats.percentile sojourns 50.;
+    sojourn_p99 = Stats.percentile sojourns 99.;
+    sojourn_p999 = Stats.percentile sojourns 99.9;
+    fairness;
+    utilization;
+    queue_depth_max;
+    tenants;
+  }
+
+let csv_header =
+  "profile,arm,jobs,completed,rejected,expired,end_time,throughput,sojourn_mean,sojourn_std,sojourn_p50,sojourn_p99,sojourn_p999,jain_fairness,utilization,queue_depth_max"
+
+let csv_row r =
+  Printf.sprintf "%s,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d"
+    r.profile r.arm r.jobs r.completed r.rejected r.expired r.end_time
+    r.throughput r.sojourn_mean r.sojourn_std r.sojourn_p50 r.sojourn_p99
+    r.sojourn_p999 r.fairness r.utilization r.queue_depth_max
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>profile            %s@,\
+     arm                %s@,\
+     jobs submitted     %d@,\
+     jobs completed     %d@,\
+     jobs rejected      %d@,\
+     jobs expired       %d@,\
+     end of trace       %.2f s (simulated)@,\
+     throughput         %.4f jobs/s@,\
+     sojourn mean       %.2f s (std %.2f)@,\
+     sojourn p50        %.2f s@,\
+     sojourn p99        %.2f s@,\
+     sojourn p99.9      %.2f s@,\
+     jain fairness      %.4f@,\
+     utilization        %.1f%%@,\
+     peak queue depth   %d"
+    r.profile r.arm r.jobs r.completed r.rejected r.expired r.end_time
+    r.throughput r.sojourn_mean r.sojourn_std r.sojourn_p50 r.sojourn_p99
+    r.sojourn_p999 r.fairness (100. *. r.utilization) r.queue_depth_max;
+  List.iter
+    (fun pt ->
+      Format.fprintf ppf "@,  %-12s submitted %3d  completed %3d  rejected %3d  expired %3d"
+        pt.tenant pt.submitted pt.completed pt.rejected pt.expired)
+    r.tenants;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,18 @@
+(** Packing-constrained greedy baseline arm (Shafiee & Ghaderi's
+    scheduling-with-packing model, PAPERS.md).
+
+    Their model gives every task of a job the {e same} fixed processor
+    demand and packs greedily; transplanted here, each real task of the
+    DAG is allocated a uniform quarter of the share ([max 1 (n/4)]
+    processors; virtual entry/exit tasks keep allocation 1) and the
+    baseline greedy mapping ({!Rats_core.Rats.schedule} with [Baseline])
+    places the pieces earliest-finish-first without any redistribution
+    awareness. Against the RATS arms it isolates what adapting the
+    {e allocation} to the DAG (HCPA) and what redistribution-aware
+    {e mapping} (delta) each buy. *)
+
+val plan :
+  cluster:Rats_platform.Cluster.t ->
+  Rats_server.Api.request ->
+  Rats_core.Schedule.t
+(** Drop-in for the engine's [planner] hook. Deterministic. *)

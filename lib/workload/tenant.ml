@@ -1,0 +1,22 @@
+type share = Fixed of int | Uniform of { lo : int; hi : int }
+
+let share_range = function
+  | Fixed k -> (k, k)
+  | Uniform { lo; hi } -> (lo, hi)
+
+type t = {
+  name : string;
+  arrival : Arrival.t;
+  mix : App.mix;
+  samples : int;
+  share : share;
+  strategy : Rats_core.Rats.strategy;
+}
+
+let validate t =
+  if t.name = "" then invalid_arg "Tenant: empty name";
+  if t.samples < 1 then invalid_arg "Tenant: samples < 1";
+  Arrival.validate t.arrival;
+  App.validate_mix t.mix;
+  let lo, hi = share_range t.share in
+  if lo < 1 || hi < lo then invalid_arg "Tenant: bad share range"

@@ -5,11 +5,11 @@
 #   1. every (flag, binary) cell in the table must match reality: a flag
 #      marked ✓ must appear in that binary's --help, a flag marked — must
 #      not;
-#   2. every option of bench/main.exe, bin/ratsd.exe and bin/rats_client.exe
-#      must have a table row (bench carries exactly the shared
-#      runtime/observability flag set, and the two service binaries are
-#      documented exhaustively, so a flag added to any of them without a
-#      table edit fails the check).
+#   2. every option of bench/main.exe, bin/ratsd.exe, bin/rats_client.exe
+#      and bin/workload.exe must have a table row (bench carries exactly the
+#      shared runtime/observability flag set, and the service/workload
+#      binaries are documented exhaustively, so a flag added to any of them
+#      without a table edit fails the check).
 #
 # Binaries are expected to be built already (make check builds first).
 set -euo pipefail
@@ -23,6 +23,7 @@ exp_help=$(dune exec --no-build bin/experiments.exe -- --help=plain 2>&1)
 run_help=$(dune exec --no-build bin/rats_run.exe -- --help=plain 2>&1)
 ratsd_help=$(dune exec --no-build bin/ratsd.exe -- --help=plain 2>&1)
 client_help=$(dune exec --no-build bin/rats_client.exe -- --help=plain 2>&1)
+workload_help=$(dune exec --no-build bin/workload.exe -- --help=plain 2>&1)
 
 # Flag table rows: lines between the markers that start with '| `'.
 rows=$(sed -n '/flags-check:begin/,/flags-check:end/p' "$readme" | grep '^| `' || true)
@@ -52,7 +53,7 @@ check_cell() { # $1 = flag, $2 = mark, $3 = binary name, $4 = help text
 }
 
 table_flags=""
-while IFS='|' read -r _ cell bench exp run ratsd client _rest; do
+while IFS='|' read -r _ cell bench exp run ratsd client workload _rest; do
     # First long flag named in the row's flag cell.
     flag=$(printf '%s' "$cell" | grep -oE -- '--[a-z][a-z-]*' | head -n1)
     [ -z "$flag" ] && continue
@@ -62,6 +63,7 @@ while IFS='|' read -r _ cell bench exp run ratsd client _rest; do
     check_cell "$flag" "$run" "bin/rats_run.exe" "$run_help"
     check_cell "$flag" "$ratsd" "bin/ratsd.exe" "$ratsd_help"
     check_cell "$flag" "$client" "bin/rats_client.exe" "$client_help"
+    check_cell "$flag" "$workload" "bin/workload.exe" "$workload_help"
 done <<EOF
 $rows
 EOF
@@ -82,9 +84,10 @@ check_documented() { # $1 = binary name, $2 = help text
 check_documented "bench/main.exe" "$bench_help"
 check_documented "bin/ratsd.exe" "$ratsd_help"
 check_documented "bin/rats_client.exe" "$client_help"
+check_documented "bin/workload.exe" "$workload_help"
 
 if [ "$fail" -ne 0 ]; then
     echo "flags-check: FAILED — update the table in $readme (flags-check markers) or the binary" >&2
     exit 1
 fi
-echo "flags-check: README flag table matches all five binaries' --help"
+echo "flags-check: README flag table matches all six binaries' --help"

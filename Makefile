@@ -19,6 +19,9 @@
 #   make workload-smoke     workload.exe three-arm study: same-seed byte
 #                           determinism, save-trace/replay round-trip, worker
 #                           independence
+#   make studio-smoke       studio.exe end-to-end: traced fig2 run rendered
+#                           into a self-contained HTML report, A/B diff with
+#                           the scale-mismatch guard, one-shot live serve
 #   make flags-check        diff README's CLI flag table against each binary's
 #                           --help
 #   make lint               rats_lint static analysis (determinism & hygiene
@@ -28,7 +31,7 @@
 #                           without a Cache.version bump (STRICT=1 to fail)
 #   make check              build + tier-1 tests + lint + trace-smoke +
 #                           server-smoke + chaos-smoke + workload-smoke +
-#                           flags-check + advisory salt-check
+#                           studio-smoke + flags-check + advisory salt-check
 #   make clean-cache        drop the on-disk result cache and journal
 #                           (bench_results/.cache, bench_results/.journal)
 #   make clean              dune clean
@@ -37,8 +40,8 @@ JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
 .PHONY: build test test-fault bench-smoke bench-resume-smoke trace-smoke \
-  server-smoke chaos-smoke workload-smoke flags-check lint salt-check check \
-  clean-cache clean
+  server-smoke chaos-smoke workload-smoke studio-smoke flags-check lint \
+  salt-check check clean-cache clean
 
 build:
 	dune build
@@ -100,6 +103,14 @@ chaos-smoke: build
 workload-smoke: build
 	tools/workload_smoke.sh
 
+# Experiment studio acceptance: a traced smoke bench run must render into a
+# single self-contained HTML report (inline SVGs, counter table, per-target
+# breakdown, no external fetches), `studio diff` must print per-target
+# deltas and warn when comparing runs of different scale, and one-shot
+# `studio serve` must answer an HTTP request (docs/STUDIO.md).
+studio-smoke: build
+	tools/studio_smoke.sh
+
 flags-check: build
 	tools/flags_check.sh
 
@@ -118,6 +129,7 @@ check: build
 	$(MAKE) server-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) workload-smoke
+	$(MAKE) studio-smoke
 	$(MAKE) flags-check
 	$(MAKE) salt-check
 

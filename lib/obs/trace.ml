@@ -161,3 +161,68 @@ let write_chrome t path =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_chrome_json t));
   Sys.rename tmp path
+
+(* --- parse-back ---------------------------------------------------------- *)
+
+let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let ( let* ) = Result.bind
+
+let str_member name json = Option.bind (Json.member name json) Json.to_str
+let num_member name json = Option.bind (Json.member name json) Json.to_float
+
+(* One trace-event object back into an {!event}; everything
+   [json_of_event] writes must round-trip. *)
+let event_of_json i json =
+  let* name =
+    match str_member "name" json with
+    | Some n -> Ok n
+    | None -> fail "event %d: missing \"name\"" i
+  in
+  let err field = fail "event %d (%s): missing %s" i name field in
+  let* ts =
+    match num_member "ts" json with Some t -> Ok t | None -> err "\"ts\""
+  in
+  let* tid =
+    match num_member "tid" json with
+    | Some t -> Ok (int_of_float t)
+    | None -> err "\"tid\""
+  in
+  let cat = Option.value (str_member "cat" json) ~default:"" in
+  let args =
+    match Json.member "args" json with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+          fields
+    | _ -> []
+  in
+  let* phase, dur =
+    match str_member "ph" json with
+    | Some "X" -> (
+        match num_member "dur" json with
+        | Some d when d >= 0. -> Ok (`Span, d)
+        | Some _ -> err "nonnegative \"dur\""
+        | None -> err "\"dur\"")
+    | Some "i" -> Ok (`Instant, 0.)
+    | Some ph -> fail "event %d (%s): unexpected ph %S" i name ph
+    | None -> err "\"ph\""
+  in
+  if cat = "" then err "\"cat\"" else Ok { name; cat; phase; ts; dur; tid; args }
+
+let events_of_json json =
+  let* events =
+    match Option.bind (Json.member "traceEvents" json) Json.to_list with
+    | Some l -> Ok l
+    | None -> fail "no \"traceEvents\" array"
+  in
+  let* rev =
+    List.fold_left
+      (fun acc (i, e) ->
+        let* acc = acc in
+        let* e = event_of_json i e in
+        Ok (e :: acc))
+      (Ok [])
+      (List.mapi (fun i e -> (i, e)) events)
+  in
+  Ok (List.rev rev)

@@ -103,3 +103,12 @@ val to_chrome_json : t -> string
 
 val write_chrome : t -> string -> unit
 (** Writes {!to_chrome_json} to a file (atomic temp-file + rename). *)
+
+(** {2 Parse-back} *)
+
+val events_of_json : Json.t -> (event list, string) result
+(** The inverse of {!to_chrome_json}: the events of a parsed Chrome
+    trace-event document, in document order. Fails with a diagnostic
+    naming the first malformed event — the validation half of
+    [bin/trace_check], exposed so report generators can re-render a trace
+    file (e.g. {!Rats_viz.Timeline}) without duplicating the decoder. *)

@@ -39,12 +39,13 @@ let encode_record key payload =
     (record_checksum key payload)
     (String.length key) (String.length payload) key payload
 
-(* Parse records from [contents] after the header; returns the entries of
-   the well-formed prefix and the offset where the first damaged (or
-   missing) record starts — everything after it is a torn tail. *)
+(* Parse records from [contents] after the header; returns the records of
+   the well-formed prefix in file order and the offset where the first
+   damaged (or missing) record starts — everything after it is a torn
+   tail. *)
 let parse_records contents =
   let len = String.length contents in
-  let entries = Hashtbl.create 256 in
+  let records = ref [] in
   let rec go offset =
     if offset >= len then offset
     else
@@ -63,7 +64,7 @@ let parse_records contents =
                   let key = String.sub contents (nl + 1) klen in
                   let payload = String.sub contents (nl + 1 + klen) plen in
                   if record_checksum key payload = checksum then begin
-                    Hashtbl.replace entries key payload;
+                    records := (key, payload) :: !records;
                     go (nl + 1 + klen + plen + 1)
                   end
                   else offset
@@ -71,13 +72,47 @@ let parse_records contents =
           | _ -> offset)
   in
   let good = go (String.length header) in
-  (entries, good)
+  (List.rev !records, good)
+
+let entries_of_records records =
+  let entries = Hashtbl.create 256 in
+  List.iter (fun (key, payload) -> Hashtbl.replace entries key payload) records;
+  entries
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+type tail = {
+  records : (string * string) list;
+  torn : bool;
+  bytes : int;
+  good_bytes : int;
+}
+
+(* Read-only view for monitors tailing a sweep that another process is
+   writing: never opens for writing, never truncates, reports rather than
+   repairs a torn tail. Reading concurrently with an append is safe — the
+   worst case is seeing the append half-written, which parses as a torn
+   tail this time and as a record the next. *)
+let read_tail path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | contents
+    when String.length contents < String.length header
+         || String.sub contents 0 (String.length header) <> header ->
+      Error (Printf.sprintf "%s: not a RATS journal (bad header)" path)
+  | contents ->
+      let records, good = parse_records contents in
+      Ok
+        {
+          records;
+          torn = good < String.length contents;
+          bytes = String.length contents;
+          good_bytes = good;
+        }
 
 let path t = t.path
 
@@ -99,10 +134,11 @@ let open_ ?(dir = default_dir) ?fault ~name ~resume () =
   in
   let entries, loaded =
     match previous with
-    | Some (entries, good_offset) ->
+    | Some (records, good_offset) ->
         (* Drop the torn tail of the crashed run, keep the good prefix. *)
         Unix.ftruncate fd good_offset;
         ignore (Unix.lseek fd 0 Unix.SEEK_END);
+        let entries = entries_of_records records in
         (entries, Hashtbl.length entries)
     | None ->
         Unix.ftruncate fd 0;

@@ -60,3 +60,28 @@ val writable : t -> bool
     journal, or after {!close} — the run continues but will not resume. *)
 
 val close : t -> unit
+
+(** {2 Read-only tailing}
+
+    A monitor (the studio's [serve] mode) wants to watch a journal that a
+    {e different} process is appending to. {!open_} is the wrong tool — it
+    opens for writing and truncates torn tails; {!read_tail} does neither:
+    it parses whatever well-formed prefix exists right now and reports a
+    torn or still-being-written final record instead of repairing it. *)
+
+type tail = {
+  records : (string * string) list;
+      (** (key, payload) records of the well-formed prefix, in append
+          order (duplicate keys are kept — unlike {!find}, which sees the
+          last write). *)
+  torn : bool;
+      (** The file ends in a damaged or incomplete record. Transient while
+          the writer is mid-append; permanent after a crash. *)
+  bytes : int;  (** Current file size. *)
+  good_bytes : int;  (** Offset where the well-formed prefix ends. *)
+}
+
+val read_tail : string -> (tail, string) result
+(** [read_tail path] parses the journal file at [path] (a {!path}, not a
+    name). Errors: unreadable file, or a header that is not a RATS
+    journal's. Safe to call concurrently with a live appender. *)

@@ -1,0 +1,78 @@
+module Json = Rats_obs.Json
+module Snapshot = Rats_obs.Snapshot
+module Report = Rats_runtime.Report
+
+type target = {
+  label : string;
+  wall_s : float;
+  jobs : int;
+  cache_hits : int;
+  cache_misses : int;
+  failed : int;
+  retried : int;
+  resumed : int;
+}
+
+type t = {
+  path : string;
+  version : int;
+  scale : string option;
+  jobs : int option;
+  total_wall_s : float option;
+  targets : target list;
+  metrics : Snapshot.t option;
+}
+
+let int_member name json ~default =
+  match Option.bind (Json.member name json) Json.to_int with
+  | Some n -> n
+  | None -> default
+
+let target_of_json json =
+  match
+    ( Option.bind (Json.member "label" json) Json.to_str,
+      Option.bind (Json.member "wall_s" json) Json.to_float )
+  with
+  | Some label, Some wall_s ->
+      Some
+        {
+          label;
+          wall_s;
+          jobs = int_member "jobs" json ~default:0;
+          cache_hits = int_member "cache_hits" json ~default:0;
+          cache_misses = int_member "cache_misses" json ~default:0;
+          failed = int_member "failed" json ~default:0;
+          retried = int_member "retried" json ~default:0;
+          resumed = int_member "resumed" json ~default:0;
+        }
+  | _ -> None
+
+let of_json ~path json =
+  let targets =
+    match Option.bind (Json.member "targets" json) Json.to_list with
+    | Some l -> List.filter_map target_of_json l
+    | None -> []
+  in
+  let metrics =
+    match Json.member "metrics" json with
+    | Some m -> ( match Snapshot.of_json m with Ok s -> Some s | Error _ -> None)
+    | None -> None
+  in
+  {
+    path;
+    version = Report.version_of json;
+    scale = Option.bind (Json.member "scale" json) Json.to_str;
+    jobs = Option.bind (Json.member "jobs" json) Json.to_int;
+    total_wall_s = Option.bind (Json.member "total_wall_s" json) Json.to_float;
+    targets;
+    metrics;
+  }
+
+let load path =
+  match Report.load path with
+  | Error msg -> Error (path ^ ": " ^ msg)
+  | Ok json -> Ok (of_json ~path json)
+
+let target t label = List.find_opt (fun tg -> tg.label = label) t.targets
+
+let counter t name = Option.bind t.metrics (fun s -> Snapshot.counter s name)

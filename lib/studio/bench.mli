@@ -1,0 +1,42 @@
+(** Typed view of a [BENCH_runtime.json] document.
+
+    {!Rats_runtime.Report} writes the document and hands back raw JSON on
+    {!Rats_runtime.Report.load}; this module turns that JSON into a record
+    the report and diff renderers can walk. Both schema versions load:
+    version 1 (no [schema_version], no embedded metrics) yields
+    [metrics = None] and [scale = None] where the field is absent, version
+    2 carries the {!Rats_obs.Snapshot}. Malformed target entries are
+    skipped, missing numeric fields default to 0 — a reader of historical
+    snapshots must not be the thing that breaks. *)
+
+type target = {
+  label : string;
+  wall_s : float;
+  jobs : int;
+  cache_hits : int;
+  cache_misses : int;
+  failed : int;
+  retried : int;
+  resumed : int;
+}
+
+type t = {
+  path : string;  (** Where it was loaded from (diagnostics). *)
+  version : int;  (** Schema version; 1 when the field is absent. *)
+  scale : string option;  (** ["smoke"] / ["paper"]; [None] on v1 docs without it. *)
+  jobs : int option;
+  total_wall_s : float option;
+  targets : target list;  (** Document order. *)
+  metrics : Rats_obs.Snapshot.t option;  (** v2 embedded snapshot. *)
+}
+
+val of_json : path:string -> Rats_obs.Json.t -> t
+(** Total — an empty or alien object yields an empty report, not an
+    error. [path] is carried through for diagnostics only. *)
+
+val load : string -> (t, string) result
+(** Read and parse; errors are I/O or JSON-syntax only. *)
+
+val target : t -> string -> target option
+val counter : t -> string -> int option
+(** Counter from the embedded metrics snapshot, when there is one. *)

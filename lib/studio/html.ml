@@ -1,0 +1,98 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#x27;"
+      | '\t' | '\n' -> Buffer.add_char buf ' '
+      | c when Char.code c < 0x20 || Char.code c = 0x7f -> ()
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let el name ?cls body =
+  match cls with
+  | None -> Printf.sprintf "<%s>%s</%s>" name body name
+  | Some cls ->
+      Printf.sprintf "<%s class=\"%s\">%s</%s>" name (escape cls) body name
+
+let text_el name ?cls body = el name ?cls (escape body)
+
+let row_of cell cells = el "tr" (String.concat "" (List.map cell cells))
+
+let table_with ~cls ~highlight ~header ~cell rows =
+  let hcell i h =
+    if highlight i then el "th" ~cls:"hl" (escape h) else text_el "th" h
+  in
+  let dcell i c = if highlight i then el "td" ~cls:"hl" (cell c) else el "td" (cell c) in
+  let head = el "tr" (String.concat "" (List.mapi hcell header)) in
+  let body =
+    String.concat "\n"
+      (List.map (fun r -> el "tr" (String.concat "" (List.mapi dcell r))) rows)
+  in
+  el "table" ?cls (el "thead" head ^ "\n" ^ el "tbody" body)
+
+let table ?(cls = "data") ?(highlight = fun _ -> false) ~header rows =
+  table_with ~cls:(Some cls) ~highlight ~header ~cell:escape rows
+
+let table_raw ?(cls = "data") ~header rows =
+  table_with ~cls:(Some cls) ~highlight:(fun _ -> false) ~header
+    ~cell:(fun c -> c)
+    rows
+
+let kv_table kvs =
+  el "table" ~cls:"kv"
+    (el "tbody"
+       (String.concat "\n"
+          (List.map
+             (fun (k, v) -> row_of (fun c -> text_el "td" c) [ k; v ])
+             kvs)))
+
+let details ~summary body =
+  el "details" (text_el "summary" summary ^ "\n" ^ body)
+
+(* One stylesheet for every studio page; inline so the document stays a
+   single self-contained file. *)
+let css =
+  {|body { font-family: sans-serif; margin: 1.2em 2em; color: #222; max-width: 72em; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #444; padding-bottom: .2em; }
+h2 { font-size: 1.15em; margin-top: 1.6em; border-bottom: 1px solid #bbb; padding-bottom: .15em; }
+table { border-collapse: collapse; margin: .6em 0; font-size: .85em; }
+th, td { border: 1px solid #ccc; padding: .25em .6em; text-align: left; }
+th { background: #f0f0f0; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+table.kv td:first-child { background: #f7f7f7; font-weight: bold; }
+.hl { background: #fff6d6; }
+.regression { background: #ffd6d6; font-weight: bold; }
+.improvement { background: #d9f2d9; }
+.warn { background: #fff3cd; border: 1px solid #e0c36a; padding: .5em .8em; margin: .6em 0; }
+.muted { color: #777; }
+.figure { margin: .8em 0; overflow-x: auto; }
+details > summary { cursor: pointer; color: #555; margin: .4em 0; }
+|}
+
+let page ~title ?refresh body =
+  let refresh =
+    match refresh with
+    | None -> ""
+    | Some s ->
+        Printf.sprintf "<meta http-equiv=\"refresh\" content=\"%g\">\n" s
+  in
+  Printf.sprintf
+    "<!DOCTYPE html>\n\
+     <html lang=\"en\">\n\
+     <head>\n\
+     <meta charset=\"utf-8\">\n\
+     %s<title>%s</title>\n\
+     <style>\n\
+     %s</style>\n\
+     </head>\n\
+     <body>\n\
+     %s\n\
+     </body>\n\
+     </html>\n"
+    refresh (escape title) css body

@@ -1,0 +1,52 @@
+(** Minimal HTML document builder.
+
+    The studio's counterpart of {!Rats_viz.Svg}: just enough HTML to
+    render reports — escaping, a handful of element helpers and a
+    standalone-page wrapper with inline CSS. Everything returns plain
+    strings; helpers escape the text they are given, and the [_raw]
+    variants splice pre-rendered markup (an inline SVG, a highlighted
+    cell) verbatim — the caller vouches for it.
+
+    Self-containment is a design rule, not an accident: {!page} emits no
+    [<script>], no [<link>], no external URL of any kind, so a report is
+    one file that renders identically offline and archives losslessly. *)
+
+val escape : string -> string
+(** HTML-escapes ampersand, angle brackets and both quote characters, and
+    strips other C0 control characters (except tab/newline, which become
+    spaces) so hostile run labels cannot break out of an attribute or
+    element. *)
+
+val el : string -> ?cls:string -> string -> string
+(** [el name ?cls body] is [<name class="cls">body</name>]; [body] is raw
+    markup (escape text yourself or use {!text_el}). *)
+
+val text_el : string -> ?cls:string -> string -> string
+(** Like {!el}, with the body escaped. *)
+
+val table :
+  ?cls:string ->
+  ?highlight:(int -> bool) ->
+  header:string list ->
+  string list list ->
+  string
+(** An escaped data table. [highlight i] marks column [i]'s cells (and
+    header) with class ["hl"] — e.g. the fairness/p99 columns of a
+    workload CSV. *)
+
+val table_raw :
+  ?cls:string -> header:string list -> string list list -> string
+(** Like {!table}, but cells are raw markup (headers are still
+    escaped). *)
+
+val kv_table : (string * string) list -> string
+(** Two-column key/value table, both sides escaped. *)
+
+val details : summary:string -> string -> string
+(** A collapsible [<details>] block (escaped summary, raw body). *)
+
+val page : title:string -> ?refresh:float -> string -> string
+(** [page ~title body] wraps raw [body] into a complete standalone HTML5
+    document: escaped [<title>], the studio's inline stylesheet, no
+    external references. [refresh] adds a [meta http-equiv refresh] tag
+    with that period in seconds — the auto-refresh of the live monitor. *)

@@ -1,0 +1,100 @@
+let response ?(status = (200, "OK")) ?(content_type = "text/html; charset=utf-8")
+    body =
+  let code, reason = status in
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    code reason content_type (String.length body) body
+
+(* Read the request head: bounded at 8 KiB, 5 s receive timeout, done at
+   the first blank line. Returns the request path of a GET, [None] for
+   anything else (including garbage and stalls). *)
+let read_request fd =
+  let max_head = 8192 in
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5. with Unix.Unix_error _ -> ());
+  let rec go () =
+    if Buffer.length buf > max_head then None
+    else
+      let seen = Buffer.contents buf in
+      let module S = String in
+      let has_end =
+        let rec find i =
+          if i + 3 >= S.length seen then false
+          else if S.sub seen i 4 = "\r\n\r\n" then true
+          else find (i + 1)
+        in
+        S.length seen >= 4 && find 0
+      in
+      if has_end then Some seen
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            None
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> None
+  in
+  match go () with
+  | None -> None
+  | Some head -> (
+      match String.split_on_char '\r' head with
+      | request_line :: _ -> (
+          match String.split_on_char ' ' request_line with
+          | [ "GET"; path; _proto ] -> Some path
+          | _ -> None)
+      | [] -> None)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+let serve ?(host = "127.0.0.1") ?max_requests ?on_listen ~port handler =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+      Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen lfd 16;
+      (match on_listen with
+      | Some f ->
+          let bound =
+            match Unix.getsockname lfd with
+            | Unix.ADDR_INET (_, p) -> p
+            | _ -> port
+          in
+          f bound
+      | None -> ());
+      let served = ref 0 in
+      let continue () =
+        match max_requests with None -> true | Some n -> !served < n
+      in
+      while continue () do
+        match Unix.accept lfd with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | cfd, _ ->
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close cfd with Unix.Unix_error _ -> ())
+              (fun () ->
+                match read_request cfd with
+                | None -> ()
+                | Some path ->
+                    let page = handler path in
+                    write_all cfd (response page);
+                    incr served)
+      done)

@@ -1,0 +1,29 @@
+(** Minimal single-threaded HTTP responder.
+
+    Just enough HTTP/1.1 to put a live page in a browser tab: bind a
+    loopback TCP socket, accept one connection at a time, read the request
+    head (bounded, with a receive timeout so a stalled client cannot wedge
+    the monitor — the framing discipline of [bin/ratsd], in miniature),
+    answer every [GET] with a freshly rendered page and [Connection:
+    close]. No keep-alive, no routing, no TLS, no dependency — this is a
+    progress monitor, not a web server, and it must never outlive its
+    usefulness by becoming one. *)
+
+val response : ?status:int * string -> ?content_type:string -> string -> string
+(** [response body] is the full HTTP response byte string ([200 OK],
+    [text/html; charset=utf-8] by default), with [Content-Length] and
+    [Connection: close] headers. Exposed for tests. *)
+
+val serve :
+  ?host:string ->
+  ?max_requests:int ->
+  ?on_listen:(int -> unit) ->
+  port:int ->
+  (string -> string) ->
+  unit
+(** [serve ~port handler] binds [host] (default [127.0.0.1]) on [port]
+    ([0] lets the kernel pick; [on_listen] receives the bound port either
+    way) and serves [handler path] — a complete HTML document — to every
+    request, sequentially, until [max_requests] have been answered
+    (default: forever). Malformed or timed-out requests are dropped
+    without counting. The listening socket is closed on return. *)

@@ -1,0 +1,141 @@
+module Snapshot = Rats_obs.Snapshot
+module Journal = Rats_runtime.Journal
+
+type source = {
+  title : string;
+  journal : string option;
+  metrics : string option;
+  bench : string option;
+  refresh_s : int;
+  recent : int;
+}
+
+let make ?journal ?metrics ?bench ?(refresh_s = 2) ?(recent = 20) ~title () =
+  { title; journal; metrics; bench; refresh_s; recent }
+
+let missing what path =
+  [
+    Html.el "p" ~cls:"muted"
+      (Html.escape (Printf.sprintf "No %s yet at %s." what path));
+  ]
+
+let last n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let journal_of recent path =
+  match Journal.read_tail path with
+  | Error _ -> missing "journal" path
+  | Ok tail ->
+      let summary =
+        Html.kv_table
+          [
+            ("records", string_of_int (List.length tail.Journal.records));
+            ( "bytes",
+              Printf.sprintf "%d (%d parseable)" tail.Journal.bytes
+                tail.Journal.good_bytes );
+          ]
+      in
+      let torn =
+        if tail.Journal.torn then
+          [
+            Html.el "div" ~cls:"warn"
+              (Html.escape
+                 "journal tail is torn (in-flight append or interrupted \
+                  writer) — trailing bytes ignored");
+          ]
+        else []
+      in
+      let rows =
+        List.map
+          (fun (key, payload) ->
+            [
+              Html.text_el "td" key;
+              Html.el "td" ~cls:"num"
+                (Html.escape (string_of_int (String.length payload)));
+            ])
+          (last recent tail.Journal.records)
+      in
+      let recent_table =
+        if rows = [] then
+          [ Html.el "p" ~cls:"muted" "Journal is empty so far." ]
+        else
+          [
+            Html.text_el "h3"
+              (Printf.sprintf "Last %d records" (List.length rows));
+            Html.table_raw ~header:[ "key"; "payload bytes" ] rows;
+          ]
+      in
+      (summary :: torn) @ recent_table
+
+let metrics_of path =
+  if not (Sys.file_exists path) then missing "metrics snapshot" path
+  else
+    match Snapshot.of_file path with
+    | Error msg ->
+        [
+          Html.el "div" ~cls:"warn"
+            (Html.escape
+               (Printf.sprintf
+                  "%s: %s (a concurrent writer may be mid-flush — next \
+                   refresh will retry)"
+                  path msg));
+        ]
+    | Ok s ->
+        let rows =
+          List.map
+            (fun (name, v) ->
+              [
+                Html.text_el "td" name;
+                Html.el "td" ~cls:"num" (Html.escape (string_of_int v));
+              ])
+            s.Snapshot.counters
+        in
+        if rows = [] then [ Html.el "p" ~cls:"muted" "No counters yet." ]
+        else [ Html.table_raw ~header:[ "counter"; "value" ] rows ]
+
+let bench_of path =
+  if not (Sys.file_exists path) then missing "bench report" path
+  else
+    match Bench.load path with
+    | Error msg ->
+        [ Html.el "div" ~cls:"warn" (Html.escape (path ^ ": " ^ msg)) ]
+    | Ok b ->
+        let rows =
+          List.map
+            (fun (tg : Bench.target) ->
+              [
+                Html.text_el "td" tg.Bench.label;
+                Html.el "td" ~cls:"num"
+                  (Html.escape (Printf.sprintf "%.3f" tg.Bench.wall_s));
+              ])
+            b.Bench.targets
+        in
+        Html.kv_table
+          [
+            ("scale", Option.value b.Bench.scale ~default:"(not recorded)");
+            ( "total wall",
+              match b.Bench.total_wall_s with
+              | Some w -> Printf.sprintf "%.3f s" w
+              | None -> "-" );
+          ]
+        :: (if rows = [] then []
+            else [ Html.table_raw ~header:[ "target"; "wall_s" ] rows ])
+
+let render src =
+  let section title body = Html.text_el "h2" title :: body in
+  let opt title f = function
+    | None -> []
+    | Some path -> section title (f path)
+  in
+  let body =
+    String.concat "\n"
+      ((Html.text_el "h1" src.title
+       :: Html.el "p" ~cls:"muted"
+            (Html.escape
+               (Printf.sprintf "Auto-refreshes every %d s." src.refresh_s))
+       :: opt "Journal" (journal_of src.recent) src.journal)
+      @ opt "Metrics" metrics_of src.metrics
+      @ opt "Bench report" bench_of src.bench)
+  in
+  Html.page ~title:src.title ~refresh:(float_of_int src.refresh_s) body

@@ -1,0 +1,34 @@
+(** Live view of a running sweep.
+
+    Renders a snapshot-in-time HTML page from the artifacts a running
+    sweep updates as it goes: the resumable {!Rats_runtime.Journal} (read
+    with {!Rats_runtime.Journal.read_tail}, which never truncates and is
+    safe against a concurrent appender), the [--metrics] snapshot file,
+    and the [BENCH_runtime.json] report once it lands. Every render
+    re-reads the files, so serving this page repeatedly — with the
+    page's [meta refresh] pointed back at itself — is the whole monitor. *)
+
+type source = {
+  title : string;
+  journal : string option;  (** path to a [Journal] file *)
+  metrics : string option;  (** path to a metrics snapshot JSON *)
+  bench : string option;  (** path to a [BENCH_runtime.json] *)
+  refresh_s : int;  (** [meta refresh] interval baked into the page *)
+  recent : int;  (** how many trailing journal records to list *)
+}
+
+val make :
+  ?journal:string ->
+  ?metrics:string ->
+  ?bench:string ->
+  ?refresh_s:int ->
+  ?recent:int ->
+  title:string ->
+  unit ->
+  source
+
+val render : source -> string
+(** Re-read every configured artifact and render the page. Missing or
+    not-yet-created files render as muted placeholders, a torn journal
+    tail as a warning banner — the monitor must outlive any state the
+    sweep leaves the files in. *)

@@ -1,0 +1,36 @@
+(** Self-contained HTML report of one run.
+
+    Collects whatever artifacts a run left behind — the
+    [BENCH_runtime.json] perf report, a [--metrics] snapshot, a [--trace]
+    Chrome trace, workload comparison CSVs, pre-rendered SVG figures — and
+    renders them into one HTML document with every figure inlined (no
+    external fetches; see {!Html.page}). Each input is optional: the
+    report renders the sections it has artifacts for and notes the ones it
+    does not, so a workload-only run and a full bench sweep use the same
+    command. *)
+
+type input = {
+  title : string;
+  bench : Bench.t option;
+  snapshot : Rats_obs.Snapshot.t option;
+      (** Explicit [--metrics] snapshot; when [None], the one embedded in
+          [bench] (schema ≥ 2) is used. *)
+  trace : Rats_obs.Trace.event list option;
+      (** Parsed [--trace] events, rendered as an inline
+          {!Rats_viz.Timeline}. *)
+  workloads : (string * string) list;
+      (** (name, CSV contents) — rendered as tables with the per-arm
+          fairness and p99 columns highlighted. *)
+  figures : (string * string) list;
+      (** (caption, SVG markup) — e.g. Gantt charts from
+          [rats_run --svg] — embedded verbatim. *)
+}
+
+val empty : title:string -> input
+
+val render : input -> string
+(** The complete HTML document. *)
+
+val write : input -> string -> unit
+(** Render to a file (atomic temp-file + rename in the target
+    directory). *)

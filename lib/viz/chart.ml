@@ -1,0 +1,88 @@
+(* Same palette trick as the Gantt and Timeline renderers: a color is a
+   pure function of the label, so the same series keeps its color across
+   charts and across runs. *)
+let color_of label =
+  let hue = (Hashtbl.hash label * 2654435761) land 0xFFFF mod 360 in
+  Printf.sprintf "hsl(%d, 60%%, 50%%)" hue
+
+let default_value_label v = Printf.sprintf "%.3g" v
+
+let bars ?(width = 640.) ?(value_label = default_value_label) ~title rows =
+  let row_h = 18. in
+  let gap = 4. in
+  let label_w = 150. in
+  let value_w = 70. in
+  let top = 34. in
+  let n = List.length rows in
+  let height = top +. (float_of_int n *. (row_h +. gap)) +. 10. in
+  let svg = Svg.create ~width ~height in
+  Svg.title svg ~x:10. ~y:20. title;
+  let v_max =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-12 rows
+  in
+  let bar_w_max = width -. label_w -. value_w -. 20. in
+  List.iteri
+    (fun i (label, v) ->
+      let y = top +. (float_of_int i *. (row_h +. gap)) in
+      let v = Float.max 0. v in
+      let w = v /. v_max *. bar_w_max in
+      Svg.text svg ~x:(label_w -. 6.) ~y:(y +. row_h -. 5.) ~size:10.
+        ~anchor:"end" label;
+      Svg.rect svg ~x:label_w ~y ~w:(Float.max 0.5 w) ~h:(row_h -. 2.)
+        ~stroke:"#333" ~fill:(color_of label) ();
+      Svg.text svg
+        ~x:(label_w +. w +. 6.)
+        ~y:(y +. row_h -. 5.)
+        ~size:10. (value_label v))
+    rows;
+  svg
+
+(* Histogram bounds are seconds (1µs·2^i); print them in the unit that
+   keeps the mantissa readable. *)
+let default_unit_label ub =
+  if ub = infinity then "inf"
+  else if ub < 1e-3 then Printf.sprintf "%.0fµs" (ub *. 1e6)
+  else if ub < 1. then Printf.sprintf "%.3gms" (ub *. 1e3)
+  else Printf.sprintf "%.3gs" ub
+
+let histogram ?(width = 640.) ?(unit_label = default_unit_label) ~title
+    buckets =
+  let chart_h = 90. in
+  let top = 34. in
+  let bottom = 26. in
+  let left = 10. in
+  let height = top +. chart_h +. bottom in
+  let svg = Svg.create ~width ~height in
+  Svg.title svg ~x:10. ~y:20. title;
+  let n = List.length buckets in
+  if n > 0 then begin
+    let slot = (width -. (2. *. left)) /. float_of_int n in
+    let bar_w = Float.max 1. (slot -. 3.) in
+    let c_max =
+      List.fold_left (fun acc (_, c) -> max acc c) 1 buckets
+    in
+    let baseline = top +. chart_h in
+    Svg.line svg ~x1:left ~y1:baseline ~x2:(width -. left) ~y2:baseline
+      ~width:0.75 ~stroke:"#444" ();
+    List.iteri
+      (fun i (ub, count) ->
+        let x = left +. (float_of_int i *. slot) in
+        let h =
+          chart_h *. float_of_int count /. float_of_int c_max
+        in
+        if count > 0 then begin
+          Svg.rect svg ~x ~y:(baseline -. h) ~w:bar_w ~h:(Float.max 0.5 h)
+            ~stroke:"#333" ~fill:(color_of title) ();
+          Svg.text svg
+            ~x:(x +. (bar_w /. 2.))
+            ~y:(baseline -. h -. 3.)
+            ~size:8. ~anchor:"middle"
+            (string_of_int count)
+        end;
+        Svg.text svg
+          ~x:(x +. (bar_w /. 2.))
+          ~y:(baseline +. 12.)
+          ~size:8. ~anchor:"middle" (unit_label ub))
+      buckets
+  end;
+  svg

@@ -1,0 +1,33 @@
+(** Small statistical charts for reports.
+
+    Horizontal bar charts over labeled values and latency-histogram bucket
+    bars, rendered with {!Svg} — the building blocks of the experiment
+    studio's HTML reports ([Rats_studio.Page]), where each chart is
+    embedded inline. Deterministic output: bar order is the input order,
+    colors derive from labels the same way {!Gantt} colors tasks. *)
+
+val bars :
+  ?width:float ->
+  ?value_label:(float -> string) ->
+  title:string ->
+  (string * float) list ->
+  Svg.t
+(** [bars ~title rows] renders one horizontal bar per [(label, value)]
+    row, longest axis scaled to the maximum value; each bar carries its
+    label on the left and its rendered value at the bar's end
+    ([value_label], default ["%.3g"]). Negative values are clamped to 0
+    (lengths cannot be negative); an empty [rows] yields a chart with just
+    the title. *)
+
+val histogram :
+  ?width:float ->
+  ?unit_label:(float -> string) ->
+  title:string ->
+  (float * int) list ->
+  Svg.t
+(** [histogram ~title buckets] renders per-bucket counts — the
+    [(upper bound, count)] pairs of {!Rats_obs.Metrics.bucket_counts} or a
+    parsed {!Rats_obs.Snapshot.hist} — as vertical bars with the bound as
+    the x label ([unit_label] formats it; the default prints seconds
+    scaled to µs/ms/s and ["inf"] for the overflow bucket). Empty buckets
+    are kept: the gaps are part of the shape. *)

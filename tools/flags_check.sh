@@ -5,11 +5,13 @@
 #   1. every (flag, binary) cell in the table must match reality: a flag
 #      marked ✓ must appear in that binary's --help, a flag marked — must
 #      not;
-#   2. every option of bench/main.exe, bin/ratsd.exe, bin/rats_client.exe
-#      and bin/workload.exe must have a table row (bench carries exactly the
-#      shared runtime/observability flag set, and the service/workload
-#      binaries are documented exhaustively, so a flag added to any of them
-#      without a table edit fails the check).
+#   2. every option of bench/main.exe, bin/ratsd.exe, bin/rats_client.exe,
+#      bin/workload.exe and bin/studio.exe must have a table row (bench
+#      carries exactly the shared runtime/observability flag set, and the
+#      service/workload/studio binaries are documented exhaustively, so a
+#      flag added to any of them without a table edit fails the check).
+#      studio is a subcommand binary: its "help" is the concatenation of
+#      the top-level help and every subcommand's.
 #
 # Binaries are expected to be built already (make check builds first).
 set -euo pipefail
@@ -24,6 +26,10 @@ run_help=$(dune exec --no-build bin/rats_run.exe -- --help=plain 2>&1)
 ratsd_help=$(dune exec --no-build bin/ratsd.exe -- --help=plain 2>&1)
 client_help=$(dune exec --no-build bin/rats_client.exe -- --help=plain 2>&1)
 workload_help=$(dune exec --no-build bin/workload.exe -- --help=plain 2>&1)
+studio_help=$(dune exec --no-build bin/studio.exe -- --help=plain 2>&1
+              for sub in report diff serve; do
+                  dune exec --no-build bin/studio.exe -- "$sub" --help=plain 2>&1
+              done)
 
 # Flag table rows: lines between the markers that start with '| `'.
 rows=$(sed -n '/flags-check:begin/,/flags-check:end/p' "$readme" | grep '^| `' || true)
@@ -53,7 +59,7 @@ check_cell() { # $1 = flag, $2 = mark, $3 = binary name, $4 = help text
 }
 
 table_flags=""
-while IFS='|' read -r _ cell bench exp run ratsd client workload _rest; do
+while IFS='|' read -r _ cell bench exp run ratsd client workload studio _rest; do
     # First long flag named in the row's flag cell.
     flag=$(printf '%s' "$cell" | grep -oE -- '--[a-z][a-z-]*' | head -n1)
     [ -z "$flag" ] && continue
@@ -64,6 +70,7 @@ while IFS='|' read -r _ cell bench exp run ratsd client workload _rest; do
     check_cell "$flag" "$ratsd" "bin/ratsd.exe" "$ratsd_help"
     check_cell "$flag" "$client" "bin/rats_client.exe" "$client_help"
     check_cell "$flag" "$workload" "bin/workload.exe" "$workload_help"
+    check_cell "$flag" "$studio" "bin/studio.exe" "$studio_help"
 done <<EOF
 $rows
 EOF
@@ -85,9 +92,10 @@ check_documented "bench/main.exe" "$bench_help"
 check_documented "bin/ratsd.exe" "$ratsd_help"
 check_documented "bin/rats_client.exe" "$client_help"
 check_documented "bin/workload.exe" "$workload_help"
+check_documented "bin/studio.exe" "$studio_help"
 
 if [ "$fail" -ne 0 ]; then
     echo "flags-check: FAILED — update the table in $readme (flags-check markers) or the binary" >&2
     exit 1
 fi
-echo "flags-check: README flag table matches all six binaries' --help"
+echo "flags-check: README flag table matches all seven binaries' --help"

@@ -24,14 +24,24 @@
 #                           the scale-mismatch guard, one-shot live serve
 #   make flags-check        diff README's CLI flag table against each binary's
 #                           --help
-#   make lint               rats_lint static analysis (determinism & hygiene
-#                           rules, docs/LINTING.md); JSON report lands in
+#   make lint               rats_lint whole-program static analysis
+#                           (determinism, taint, domain-safety rules —
+#                           docs/LINTING.md) against the committed baseline
+#                           tools/lint_baseline.txt; JSON report lands in
 #                           bench_results/lint.json
+#   make lint-smoke         analyzer acceptance: cold run under the 2s
+#                           budget, warm cache run byte-identical, baseline
+#                           ratchet both directions, DOT graph export
+#   make bench-archive      snapshot BENCH_runtime.json as
+#                           bench_results/archive/BENCH_runtime.<LABEL>.json
+#                           (LABEL=... required) so studio diffs can reach
+#                           past runs
 #   make salt-check         warn when lib/{sim,core,dag,redist} changed
 #                           without a Cache.version bump (STRICT=1 to fail)
-#   make check              build + tier-1 tests + lint + trace-smoke +
-#                           server-smoke + chaos-smoke + workload-smoke +
-#                           studio-smoke + flags-check + advisory salt-check
+#   make check              build + tier-1 tests + lint + lint-smoke +
+#                           trace-smoke + server-smoke + chaos-smoke +
+#                           workload-smoke + studio-smoke + flags-check +
+#                           advisory salt-check
 #   make clean-cache        drop the on-disk result cache and journal
 #                           (bench_results/.cache, bench_results/.journal)
 #   make clean              dune clean
@@ -39,9 +49,9 @@
 JOBS ?= 0   # 0 = auto (RATS_JOBS or all cores; this container has 1)
 JOBS_FLAG := $(if $(filter-out 0,$(JOBS)),-j $(JOBS),)
 
-.PHONY: build test test-fault bench-smoke bench-resume-smoke trace-smoke \
-  server-smoke chaos-smoke workload-smoke studio-smoke flags-check lint \
-  salt-check check clean-cache clean
+.PHONY: build test test-fault bench-smoke bench-resume-smoke bench-archive \
+  trace-smoke server-smoke chaos-smoke workload-smoke studio-smoke \
+  flags-check lint lint-smoke salt-check check clean-cache clean
 
 build:
 	dune build
@@ -115,7 +125,21 @@ flags-check: build
 	tools/flags_check.sh
 
 lint: build
-	dune exec --no-build bin/lint.exe -- --json bench_results/lint.json
+	dune exec --no-build bin/lint.exe -- --json bench_results/lint.json \
+	  --baseline tools/lint_baseline.txt
+
+lint-smoke: build
+	tools/lint_smoke.sh
+
+# Archive convention: bench_results/archive/BENCH_runtime.<label>.json.
+# Labeled snapshots survive later bench runs, so `studio diff` can compare
+# against any archived run, not just the latest.
+bench-archive:
+	@test -n "$(LABEL)" || { echo "usage: make bench-archive LABEL=<label>"; exit 2; }
+	@test -f BENCH_runtime.json || { echo "bench-archive: BENCH_runtime.json missing — run make bench-smoke first"; exit 2; }
+	mkdir -p bench_results/archive
+	cp BENCH_runtime.json bench_results/archive/BENCH_runtime.$(LABEL).json
+	@echo "archived: bench_results/archive/BENCH_runtime.$(LABEL).json"
 
 # Advisory by default (comment-only edits to the salted dirs are legal);
 # STRICT=1 turns a violation into a failure.
@@ -125,6 +149,7 @@ salt-check:
 check: build
 	dune runtest
 	$(MAKE) lint
+	$(MAKE) lint-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) server-smoke
 	$(MAKE) chaos-smoke

@@ -1,0 +1,79 @@
+(* The CI ratchet: a committed file of accepted findings. A lint run
+   compared against a baseline fails only on findings not yet in it, so a
+   rule can land before the tree is fully clean and tighten from there.
+
+   The file stores rendered finding lines ([Finding.to_human]) so it is
+   reviewable in diffs, but comparison uses a line/column-free key —
+   [file|rule|message] — so unrelated edits that shift a finding a few
+   lines do not break CI. Lines starting with [#] are comments. *)
+
+let key (f : Finding.t) = f.Finding.file ^ "|" ^ f.rule_id ^ "|" ^ f.message
+
+(* Parse one rendered [file:line:col: ID severity: message] line back into
+   a comparison key; [None] for comments, blanks and anything else. *)
+let key_of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.split_on_char ':' line with
+    | file :: lno :: col :: rest
+      when int_of_string_opt lno <> None && int_of_string_opt (String.trim col) <> None
+      -> (
+        let rest = String.concat ":" rest in
+        (* rest = " ID severity: message ..." *)
+        match String.index_opt rest ':' with
+        | None -> None
+        | Some j -> (
+            let head = String.trim (String.sub rest 0 j) in
+            let message =
+              let start = j + 1 in
+              String.trim (String.sub rest start (String.length rest - start))
+            in
+            match String.split_on_char ' ' head with
+            | id :: _ when id <> "" -> Some (file ^ "|" ^ id ^ "|" ^ message)
+            | _ -> None))
+    | _ -> None
+
+let header =
+  [
+    "# rats_lint baseline — accepted findings; runs with --baseline fail \
+     only on findings not listed here.";
+    "# Regenerate: dune exec bin/lint.exe -- --write-baseline \
+     tools/lint_baseline.txt";
+  ]
+
+let save path findings =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter (fun l -> output_string oc (l ^ "\n")) header;
+      List.iter
+        (fun f -> output_string oc (Finding.to_human f ^ "\n"))
+        (List.sort Finding.compare findings))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (match key_of_line line with Some k -> k :: acc | None -> acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+type diff = {
+  fresh : Finding.t list;  (** Findings not in the baseline — these fail. *)
+  stale : string list;  (** Baseline keys no current finding matches. *)
+}
+
+let diff ~baseline findings =
+  let current = List.map key findings in
+  {
+    fresh = List.filter (fun f -> not (List.mem (key f) baseline)) findings;
+    stale =
+      List.sort_uniq String.compare
+        (List.filter (fun k -> not (List.mem k current)) baseline);
+  }

@@ -1,0 +1,27 @@
+(** The CI ratchet: a committed file of accepted findings.
+
+    A run compared with [--baseline FILE] fails only on findings whose
+    key is absent from the file, so new rules can land before the tree is
+    fully clean and tighten from there. The file stores human-rendered
+    finding lines (diff-reviewable); comparison uses the
+    line/column-free key [file|rule|message], tolerant of code motion. *)
+
+val key : Finding.t -> string
+
+val key_of_line : string -> string option
+(** Comparison key of one stored line; [None] for [#] comments, blank
+    lines and unparseable content. *)
+
+val save : string -> Finding.t list -> unit
+(** Write a header plus every finding, sorted, one per line. *)
+
+val load : string -> string list
+(** The stored comparison keys, in file order. Raises [Sys_error] if the
+    file cannot be read. *)
+
+type diff = {
+  fresh : Finding.t list;  (** Findings not in the baseline — these fail. *)
+  stale : string list;  (** Baseline keys no current finding matches. *)
+}
+
+val diff : baseline:string list -> Finding.t list -> diff

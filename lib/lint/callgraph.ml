@@ -1,0 +1,184 @@
+(* Pass 2, step 1: resolve each summary's references into a cross-module
+   call graph. Resolution is heuristic but deterministic, tuned to this
+   repo's idioms, tried in order:
+
+   1. alias expansion — [module Metrics = Rats_obs.Metrics] at the top of
+      the referencing file rewrites the first path component;
+   2. a simple name resolves inside the referencing file (trying the
+      def's own nested-module prefix first);
+   3. a [Rats_x[_y]] first component resolves through the library map
+      (directory [lib/x[/y]] — dune's public names follow that shape);
+   4. a sibling module in the same directory;
+   5. a module basename unique across the whole scanned tree.
+
+   Anything else (Stdlib, Unix, List, ...) is external: kept as a raw
+   reference so [Taint] can match nondeterminism sources, but never an
+   edge. *)
+
+type node = string * string  (** (file, def name) *)
+
+type t = {
+  summaries : Summary.t list;  (** sorted by file *)
+  by_file : (string, Summary.t) Hashtbl.t;
+  by_modname : (string, string list) Hashtbl.t;  (** "Maxmin" -> files *)
+  lib_dirs : (string, string) Hashtbl.t;  (** "Rats_obs" -> "lib/obs" *)
+}
+
+(* "lib/workload/study" -> "Rats_workload_study", mirroring the dune
+   public library names; directories outside lib/ get no public name. *)
+let lib_name_of_dir dir =
+  if String.length dir > 4 && String.sub dir 0 4 = "lib/" then
+    let rest = String.sub dir 4 (String.length dir - 4) in
+    Some
+      ("Rats_"
+      ^ String.concat "_" (String.split_on_char '/' rest))
+  else None
+
+let build summaries =
+  let summaries =
+    List.sort (fun a b -> String.compare a.Summary.s_file b.Summary.s_file)
+      summaries
+  in
+  let by_file = Hashtbl.create 64 in
+  let by_modname = Hashtbl.create 64 in
+  let lib_dirs = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace by_file s.Summary.s_file s;
+      let files =
+        Option.value ~default:[] (Hashtbl.find_opt by_modname s.Summary.s_module)
+      in
+      Hashtbl.replace by_modname s.Summary.s_module (files @ [ s.Summary.s_file ]);
+      match lib_name_of_dir s.Summary.s_dir with
+      | Some lib -> Hashtbl.replace lib_dirs lib s.Summary.s_dir
+      | None -> ())
+    summaries;
+  { summaries; by_file; by_modname; lib_dirs }
+
+let summary t file = Hashtbl.find_opt t.by_file file
+
+let find_def t file name =
+  match Hashtbl.find_opt t.by_file file with
+  | None -> None
+  | Some s ->
+      List.find_opt (fun d -> d.Summary.d_name = name) s.Summary.s_defs
+      |> Option.map (fun d -> ((file, d.Summary.d_name), d))
+
+(* The def-name prefix a nested definition lives under ("Incremental" for
+   "Incremental.add"), so its simple-name references try siblings first. *)
+let prefix_of_def def_name =
+  match String.rindex_opt def_name '.' with
+  | None -> ""
+  | Some i -> String.sub def_name 0 i
+
+let resolve t ~from_file ~from_def name =
+  let name = Rules.normalize name in
+  let comps = String.split_on_char '.' name in
+  let comps =
+    match (comps, summary t from_file) with
+    | c0 :: rest, Some s -> (
+        match List.assoc_opt c0 s.Summary.s_aliases with
+        | Some path -> String.split_on_char '.' path @ rest
+        | None -> comps)
+    | _ -> comps
+  in
+  let lookup file rest =
+    match rest with
+    | [] -> None
+    | _ -> find_def t file (String.concat "." rest) |> Option.map fst
+  in
+  match comps with
+  | [] | [ "" ] -> None
+  | [ x ] -> (
+      let prefix = prefix_of_def from_def in
+      match
+        if prefix = "" then None else lookup from_file [ prefix; x ]
+      with
+      | Some hit -> Some hit
+      | None -> lookup from_file [ x ])
+  | c0 :: rest -> (
+      match summary t from_file with
+      | Some s when c0 = s.Summary.s_module -> lookup from_file rest
+      | _ -> (
+          match Hashtbl.find_opt t.lib_dirs c0 with
+          | Some dir -> (
+              match rest with
+              | m :: value ->
+                  lookup (dir ^ "/" ^ String.uncapitalize_ascii m ^ ".ml") value
+              | [] -> None)
+          | None -> (
+              let from_s = summary t from_file in
+              let sibling =
+                match from_s with
+                | Some s ->
+                    lookup
+                      (s.Summary.s_dir ^ "/" ^ String.uncapitalize_ascii c0
+                     ^ ".ml")
+                      rest
+                | None -> None
+              in
+              match sibling with
+              | Some hit -> Some hit
+              | None -> (
+                  match Hashtbl.find_opt t.by_modname c0 with
+                  | Some [ file ] when file <> from_file -> lookup file rest
+                  | _ -> None))))
+
+let display t ((file, def) : node) =
+  match summary t file with
+  | Some s -> s.Summary.s_module ^ "." ^ def
+  | None -> file ^ ":" ^ def
+
+(* All resolved call edges of one definition, sorted and deduplicated. *)
+let succs t file (d : Summary.def) =
+  List.filter_map
+    (fun (name, line) ->
+      resolve t ~from_file:file ~from_def:d.Summary.d_name name
+      |> Option.map (fun target -> (target, line)))
+    d.Summary.d_refs
+  |> List.sort_uniq compare
+
+let fold_defs t f acc =
+  List.fold_left
+    (fun acc s ->
+      List.fold_left
+        (fun acc d -> f acc s.Summary.s_file d)
+        acc s.Summary.s_defs)
+    acc t.summaries
+
+(* Module-level projection for the DOT export: one node per file, labeled
+   with its library-qualified display name, one edge per referencing
+   module pair. *)
+let to_dot t =
+  let label file =
+    match summary t file with
+    | Some s -> (
+        match lib_name_of_dir s.Summary.s_dir with
+        | Some lib -> lib ^ "." ^ s.Summary.s_module
+        | None -> file)
+    | None -> file
+  in
+  let edges =
+    fold_defs t
+      (fun acc file d ->
+        List.fold_left
+          (fun acc (((tfile, _), _) : node * int) ->
+            if tfile = file then acc else (label file, label tfile) :: acc)
+          acc (succs t file d))
+      []
+    |> List.sort_uniq compare
+  in
+  let nodes =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph rats_callgraph {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "  \"%s\";\n" n)) nodes;
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf (Printf.sprintf "  \"%s\" -> \"%s\";\n" a b))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,11 +1,21 @@
 module Json = Rats_obs.Json
 
+(* Orchestration, in two passes. Pass 1 turns every [.ml] into a
+   {!Summary.t} (per-file findings, allows, defs/refs) — cached across
+   runs keyed by source digest. Pass 2 is whole-program: the summaries
+   become a {!Callgraph.t}, the taint pass adds D005 findings, unused
+   allows become A002 findings, and suppression is applied over the
+   union. [lint_file] stops after pass 1 — single-file runs cannot see
+   cross-module taint or prove an allow stale. *)
+
 type report = {
   root : string;
   files : string list;
   findings : Finding.t list;
   suppressed : Finding.t list;
   allows : Allow.t list;
+  graph : Callgraph.t option;
+  cache_stats : (int * int) option;
 }
 
 let default_dirs = [ "bench"; "bin"; "lib"; "test" ]
@@ -17,87 +27,88 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let split_lines src = Array.of_list (String.split_on_char '\n' src)
+(* A001: a suppression is only acceptable with a written justification. *)
+let a001_findings allows =
+  let a001 = Rules.rule "A001" in
+  List.filter_map
+    (fun (a : Allow.t) ->
+      match a.reason with
+      | Some _ -> None
+      | None ->
+          Some
+            {
+              Finding.rule_id = a001.Rule.id;
+              severity = a001.Rule.severity;
+              file = a.file;
+              line = a.line;
+              col = 0;
+              message =
+                Printf.sprintf
+                  "suppression of %s has no written justification — add one \
+                   after a dash"
+                  (String.concat ", " a.rules);
+            })
+    allows
 
-let finding_of rule (loc : Location.t) message ~file =
-  {
-    Finding.rule_id = rule.Rule.id;
-    severity = rule.Rule.severity;
-    file;
-    line = loc.loc_start.pos_lnum;
-    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
-    message;
-  }
+(* A002 (whole-program only): an allow no finding needed. Usage is
+   checked against every non-A002 finding, so an allow naming A002 can
+   suppress its own staleness report — that is the sanctioned way to keep
+   a deliberately stale fixture. *)
+let a002_findings ~used allows =
+  let a002 = Rules.rule "A002" in
+  List.filter_map
+    (fun (a : Allow.t) ->
+      if
+        List.exists
+          (fun (f : Finding.t) ->
+            f.Finding.file = a.file
+            && Allow.covers a ~rule_id:f.Finding.rule_id ~line:f.Finding.line)
+          used
+      then None
+      else
+        Some
+          {
+            Finding.rule_id = a002.Rule.id;
+            severity = a002.Rule.severity;
+            file = a.file;
+            line = a.line;
+            col = 0;
+            message =
+              Printf.sprintf
+                "suppression of %s matches no finding — the hazard is gone or \
+                 the code moved; delete or relocate the allow"
+                (String.concat ", " a.rules);
+          })
+    allows
 
-let parse_structure ~file src =
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf file;
-  match Parse.implementation lexbuf with
-  | structure -> Ok structure
-  | exception Syntaxerr.Error err ->
-      Error (Syntaxerr.location_of_error err, "syntax error")
-  | exception Lexer.Error (_, loc) -> Error (loc, "lexer error")
-
-let lint_file ~root file =
-  let src = read_file (Filename.concat root file) in
-  let lines = split_lines src in
-  let raw = ref [] in
-  let allows = ref (Allow.scan_comments ~file lines) in
-  (match parse_structure ~file src with
-  | Error (loc, what) ->
-      let rule = Option.get (Rules.by_id "E001") in
-      raw := [ finding_of rule loc (what ^ " — file cannot be analyzed") ~file ]
-  | Ok structure ->
-      let cb =
-        {
-          Rules.finding =
-            (fun rule loc message ->
-              if Rule.applies rule ~path:file then
-                raw := finding_of rule loc message ~file :: !raw);
-          allow =
-            (fun ~line ~span ~source spec ->
-              let rules, reason = Allow.parse_spec spec in
-              if rules <> [] then
-                allows :=
-                  { Allow.file; line; span; rules; reason; source }
-                  :: !allows);
-        }
-      in
-      Rules.check_structure ~lines cb structure);
-  let allows = List.sort Allow.compare !allows in
-  (* A001: a suppression is only acceptable with a written justification. *)
-  let a001 = Option.get (Rules.by_id "A001") in
-  let unjustified =
-    List.filter_map
-      (fun (a : Allow.t) ->
-        match a.reason with
-        | Some _ -> None
-        | None ->
-            Some
-              {
-                Finding.rule_id = a001.Rule.id;
-                severity = a001.Rule.severity;
-                file;
-                line = a.line;
-                col = 0;
-                message =
-                  Printf.sprintf
-                    "suppression of %s has no written justification — add one \
-                     after a dash"
-                    (String.concat ", " a.rules);
-              })
-      allows
-  in
-  let all = List.sort_uniq Finding.compare (unjustified @ !raw) in
+let apply_allows ~allows all =
+  let all = List.sort_uniq Finding.compare all in
   let suppressed, findings =
     List.partition
       (fun (f : Finding.t) ->
         List.exists
-          (fun a -> Allow.covers a ~rule_id:f.rule_id ~line:f.line)
+          (fun (a : Allow.t) ->
+            a.file = f.file && Allow.covers a ~rule_id:f.rule_id ~line:f.line)
           allows)
       all
   in
-  { root; files = [ file ]; findings; suppressed; allows }
+  (findings, suppressed)
+
+let lint_file ~root file =
+  let s = Summary.scan ~file (read_file (Filename.concat root file)) in
+  let allows = s.Summary.s_allows in
+  let findings, suppressed =
+    apply_allows ~allows (a001_findings allows @ s.Summary.s_findings)
+  in
+  {
+    root;
+    files = [ file ];
+    findings;
+    suppressed;
+    allows;
+    graph = None;
+    cache_stats = None;
+  }
 
 let rec walk root rel acc =
   let abs = if rel = "" then root else Filename.concat root rel in
@@ -114,7 +125,37 @@ let rec walk root rel acc =
         else acc)
     acc entries
 
-let lint_tree ?(dirs = default_dirs) ~root () =
+(* --- the summary cache -------------------------------------------------- *)
+
+let load_cache path =
+  if not (Sys.file_exists path) then []
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let version, entries =
+            (Marshal.from_channel ic : int * (string * Summary.t) list)
+          in
+          if version = Summary.format_version then entries else [])
+    with _ -> []
+
+let save_cache path summaries =
+  try
+    let dir = Filename.dirname path in
+    if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Marshal.to_channel oc
+          ( Summary.format_version,
+            List.map (fun s -> (s.Summary.s_file, s)) summaries )
+          [])
+  with Sys_error _ -> ()
+
+let lint_tree ?(dirs = default_dirs) ?cache ~root () =
   let files =
     match dirs with
     | [] -> walk root "" []
@@ -128,17 +169,44 @@ let lint_tree ?(dirs = default_dirs) ~root () =
           [] dirs
   in
   let files = List.sort String.compare files in
-  let reports = List.map (lint_file ~root) files in
+  (* Pass 1: summarize (from cache when the digest still matches). *)
+  let cached = match cache with Some path -> load_cache path | None -> [] in
+  let hits = ref 0 and misses = ref 0 in
+  let summaries =
+    List.map
+      (fun file ->
+        let src = read_file (Filename.concat root file) in
+        let digest = Digest.to_hex (Digest.string src) in
+        match List.assoc_opt file cached with
+        | Some s when s.Summary.s_digest = digest ->
+            incr hits;
+            s
+        | _ ->
+            incr misses;
+            Summary.scan ~file src)
+      files
+  in
+  (match cache with Some path -> save_cache path summaries | None -> ());
+  (* Pass 2: whole-program analysis over the summaries. *)
+  let graph = Callgraph.build summaries in
+  let allows =
+    List.sort Allow.compare
+      (List.concat_map (fun s -> s.Summary.s_allows) summaries)
+  in
+  let non_a002 =
+    List.concat_map (fun s -> s.Summary.s_findings) summaries
+    @ a001_findings allows @ Taint.findings graph
+  in
+  let all = non_a002 @ a002_findings ~used:non_a002 allows in
+  let findings, suppressed = apply_allows ~allows all in
   {
     root;
     files;
-    findings =
-      List.sort Finding.compare (List.concat_map (fun r -> r.findings) reports);
-    suppressed =
-      List.sort Finding.compare
-        (List.concat_map (fun r -> r.suppressed) reports);
-    allows =
-      List.sort Allow.compare (List.concat_map (fun r -> r.allows) reports);
+    findings;
+    suppressed;
+    allows;
+    graph = Some graph;
+    cache_stats = Some (!hits, !misses);
   }
 
 let render_list to_human items =

@@ -18,6 +18,17 @@ let catalogue : Rule.t list =
       exclude_dirs = [];
     };
     {
+      Rule.id = "A002";
+      severity = Rule.Error;
+      title = "stale lint suppression that matches no finding";
+      rationale =
+        "An allow that suppresses nothing is dead audit weight: either the \
+         hazard was fixed (delete the allow) or the code drifted off the \
+         allow's line (move it). Whole-program runs only.";
+      include_dirs = [];
+      exclude_dirs = [];
+    };
+    {
       Rule.id = "D001";
       severity = Rule.Error;
       title = "unordered hash traversal in a result-producing library";
@@ -58,6 +69,23 @@ let catalogue : Rule.t list =
       exclude_dirs = [];
     };
     {
+      Rule.id = "D005";
+      severity = Rule.Error;
+      title =
+        "result-producing function transitively reaches a nondeterminism \
+         source";
+      rationale =
+        "A cross-module call chain can smuggle wall-clock/entropy into \
+         results D002's per-file scan never sees; the whole-program taint \
+         pass reports the full call path to the source.";
+      include_dirs =
+        [
+          "lib/core/"; "lib/dag/"; "lib/redist/"; "lib/server/"; "lib/sim/";
+          "lib/workload/";
+        ];
+      exclude_dirs = [];
+    };
+    {
       Rule.id = "E001";
       severity = Rule.Error;
       title = "source file does not parse";
@@ -82,6 +110,30 @@ let catalogue : Rule.t list =
       rationale =
         "Library output must go through Runtime.Progress/Report or a \
          formatter argument; stdout belongs to the binaries.";
+      include_dirs = [ "lib/" ];
+      exclude_dirs = [];
+    };
+    {
+      Rule.id = "R001";
+      severity = Rule.Error;
+      title =
+        "shared mutable state captured by a parallel closure without \
+         Atomic/Mutex discipline";
+      rationale =
+        "A ref/Hashtbl/Buffer/Queue/array reached from a closure handed to \
+         Domain.spawn or Pool.map races across domains; share it via \
+         Atomic/Mutex or keep it domain-local.";
+      include_dirs = [ "lib/" ];
+      exclude_dirs = [];
+    };
+    {
+      Rule.id = "R002";
+      severity = Rule.Error;
+      title = "Mutex.lock without a Fun.protect-guaranteed unlock";
+      rationale =
+        "If anything between lock and unlock raises, the mutex stays held \
+         and every later locker deadlocks; the unlock must sit in a \
+         Fun.protect ~finally.";
       include_dirs = [ "lib/" ];
       exclude_dirs = [];
     };

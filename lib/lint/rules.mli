@@ -9,10 +9,27 @@
     [docs/LINTING.md]. *)
 
 val catalogue : Rule.t list
-(** Every rule, id-sorted: D001–D004, H001–H002, plus the meta rules
-    A001 (suppression without justification) and E001 (parse error). *)
+(** Every rule, id-sorted: the per-file rules D001–D004, H001–H002, the
+    whole-program rules D005 (transitive determinism taint, [Taint]),
+    R001/R002 (domain-safety, [Domains]), plus the meta rules A001
+    (suppression without justification), A002 (stale suppression,
+    whole-program runs only) and E001 (parse error). *)
 
 val by_id : string -> Rule.t option
+
+val rule : string -> Rule.t
+(** Like {!by_id} but raises [Invalid_argument] on an unknown id. *)
+
+val dotted : Longident.t -> string
+(** ["Unix.gettimeofday"] from the identifier's longident; [Lapply]
+    renders as [""]. *)
+
+val normalize : string -> string
+(** Strips a leading ["Stdlib."] so aliased stdlib accesses match. *)
+
+val d002_names : string list
+(** The direct wall-clock/entropy sources D002 flags; [Taint] skips a
+    0-hop D005 finding when D002 already reports the same call. *)
 
 type callbacks = {
   finding : Rule.t -> Location.t -> string -> unit;

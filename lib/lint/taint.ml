@@ -1,0 +1,172 @@
+(* Pass 2, step 2: transitive determinism taint (D005).
+
+   Seeds are references to raw nondeterminism primitives — the D002 set
+   plus the ambient-state [Random] draws and [Sys.time], which are
+   deterministic per-seed but order-dependent and invisible to D002's
+   per-file scan. lib/obs is the trust boundary: the observability layer
+   owns the clock, so sources inside it do not seed and call edges into
+   it are not followed (otherwise every [Trace.span] caller would light
+   up). A source occurrence whose line carries a D002/D005 allow in its
+   own file is a justified exception and does not seed either.
+
+   Taint propagates from callee to caller over the call graph (breadth
+   first, sorted at every step, so witnesses — and therefore reported
+   paths — are deterministic and minimal). A finding is emitted at the
+   taint *frontier* of the result-producing scope: a tainted definition
+   whose next hop leaves the scope (or is the source itself). Callers
+   further up the chain inside the scope are not re-reported — fixing the
+   frontier heals them. *)
+
+let source_names =
+  Rules.d002_names
+  @ [
+      "Sys.time"; "Random.bits"; "Random.bits32"; "Random.bits64";
+      "Random.bool"; "Random.float"; "Random.full_int"; "Random.int";
+      "Random.int32"; "Random.int64"; "Random.nativeint";
+    ]
+
+let trusted_dir dir = dir = "lib/obs"
+
+type witness =
+  | Direct of string * int  (** source name, referencing line *)
+  | Via of Callgraph.node
+
+let allow_covers_source (s : Summary.t) ~line =
+  List.exists
+    (fun a ->
+      Allow.covers a ~rule_id:"D005" ~line || Allow.covers a ~rule_id:"D002" ~line)
+    s.Summary.s_allows
+
+(* (node -> witness) for every tainted definition. *)
+let analyze g =
+  let tainted : (Callgraph.node, witness) Hashtbl.t = Hashtbl.create 64 in
+  let callers : (Callgraph.node, Callgraph.node list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let seeds =
+    Callgraph.fold_defs g
+      (fun acc file (d : Summary.def) ->
+        match Callgraph.summary g file with
+        | Some s when trusted_dir s.Summary.s_dir -> acc
+        | summary_opt ->
+            let node = (file, d.Summary.d_name) in
+            (* Register reverse edges (skipping edges into the trust
+               boundary) while we scan for direct sources. *)
+            List.iter
+              (fun (((tfile, _) as target), _line) ->
+                let target_trusted =
+                  match Callgraph.summary g tfile with
+                  | Some ts -> trusted_dir ts.Summary.s_dir
+                  | None -> false
+                in
+                if not target_trusted then
+                  Hashtbl.replace callers target
+                    (node
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt callers target)))
+              (Callgraph.succs g file d);
+            let direct =
+              List.filter
+                (fun (name, line) ->
+                  List.mem (Rules.normalize name) source_names
+                  && not
+                       (match summary_opt with
+                       | Some s -> allow_covers_source s ~line
+                       | None -> false))
+                d.Summary.d_refs
+              |> List.sort (fun (n1, l1) (n2, l2) ->
+                     match Int.compare l1 l2 with
+                     | 0 -> String.compare n1 n2
+                     | c -> c)
+            in
+            (match direct with
+            | (name, line) :: _ ->
+                Hashtbl.replace tainted node
+                  (Direct (Rules.normalize name, line))
+            | [] -> ());
+            if direct <> [] then node :: acc else acc)
+      []
+  in
+  let rec propagate frontier =
+    match frontier with
+    | [] -> ()
+    | _ ->
+        let next =
+          List.fold_left
+            (fun acc node ->
+              List.fold_left
+                (fun acc caller ->
+                  if Hashtbl.mem tainted caller then acc
+                  else begin
+                    Hashtbl.replace tainted caller (Via node);
+                    caller :: acc
+                  end)
+                acc
+                (List.sort_uniq compare
+                   (Option.value ~default:[] (Hashtbl.find_opt callers node))))
+            []
+            (List.sort_uniq compare frontier)
+        in
+        propagate next
+  in
+  propagate seeds;
+  tainted
+
+(* Follow the witness chain down to the source. *)
+let path_of g tainted node =
+  let rec go node acc =
+    match Hashtbl.find_opt tainted node with
+    | Some (Direct (source, _)) ->
+        (List.rev (Callgraph.display g node :: acc), source)
+    | Some (Via next) -> go next (Callgraph.display g node :: acc)
+    | None -> (List.rev (Callgraph.display g node :: acc), "?")
+  in
+  go node []
+
+let findings g =
+  let rule = Rules.rule "D005" in
+  let d002 = Rules.rule "D002" in
+  let tainted = analyze g in
+  Callgraph.fold_defs g
+    (fun acc file (d : Summary.def) ->
+      let node = (file, d.Summary.d_name) in
+      if not (Rule.applies rule ~path:file) then acc
+      else
+        match Hashtbl.find_opt tainted node with
+        | None -> acc
+        | Some witness -> (
+            let frontier =
+              match witness with
+              | Direct _ -> true
+              | Via (tfile, _) -> not (Rule.applies rule ~path:tfile)
+            in
+            if not frontier then acc
+            else
+              match witness with
+              | Direct (source, _)
+                when List.mem source Rules.d002_names
+                     && Rule.applies d002 ~path:file ->
+                  (* 0-hop wall-clock call: D002 already reports it. *)
+                  acc
+              | _ ->
+                  let steps, source = path_of g tainted node in
+                  let hops = List.length steps in
+                  {
+                    Finding.rule_id = rule.Rule.id;
+                    severity = rule.Rule.severity;
+                    file;
+                    line = d.Summary.d_line;
+                    col = d.Summary.d_col;
+                    message =
+                      Printf.sprintf
+                        "transitively reaches nondeterminism source %s: %s → \
+                         %s (%d hop%s) — route time/entropy through lib/obs \
+                         or a seeded Rng"
+                        source
+                        (String.concat " → " steps)
+                        source hops
+                        (if hops = 1 then "" else "s");
+                  }
+                  :: acc))
+    []
+  |> List.sort_uniq Finding.compare

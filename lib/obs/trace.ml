@@ -34,8 +34,9 @@ let create ?(clock = default_clock) () =
     Domain.DLS.new_key (fun () ->
         let b = { rev_events = [] } in
         Mutex.lock t.mutex;
-        t.buffers <- b :: t.buffers;
-        Mutex.unlock t.mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.mutex)
+          (fun () -> t.buffers <- b :: t.buffers);
         b)
   in
   t.key <- Some key;
@@ -112,8 +113,11 @@ let instant ?cat ?args name =
 
 let events t =
   Mutex.lock t.mutex;
-  let buffers = t.buffers in
-  Mutex.unlock t.mutex;
+  let buffers =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () -> t.buffers)
+  in
   let all = List.concat_map (fun b -> b.rev_events) buffers in
   (* Ties broken longest-first so an enclosing span sorts before the
      children recorded at the same timestamp (fake clocks produce these). *)

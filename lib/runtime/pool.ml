@@ -96,7 +96,7 @@ let map_array_capture ?jobs ~fail_fast f input =
         ~args:(fun () -> [ ("worker", string_of_int s) ])
         loop
     in
-    let domains = Array.init (jobs - 1) (fun s -> Domain.spawn (worker (s + 1))) in
+    let domains = Array.init (jobs - 1) (fun s -> Domain.spawn (worker (s + 1))) in (* lint: allow R001 — workers claim disjoint [results] slots via the Atomic cursor and the array is read only after every join *)
     worker 0 ();
     Array.iter Domain.join domains;
     (* With [fail_fast] some slots may be unclaimed; represent them as the

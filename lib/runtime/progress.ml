@@ -77,21 +77,25 @@ let step ?(cache_hit = false) ?(resumed = false) ?(failed = false)
     if failed then Metrics.incr Instr.progress_failed;
     if retries > 0 then Metrics.add Instr.progress_retried retries;
     Mutex.lock t.mutex;
-    let now = Instr.now_s () in
-    if now -. t.last_print >= min_print_interval then begin
-      t.last_print <- now;
-      print_line t now
-    end;
-    Mutex.unlock t.mutex
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        let now = Instr.now_s () in
+        if now -. t.last_print >= min_print_interval then begin
+          t.last_print <- now;
+          print_line t now
+        end)
   end
 
 let finish t =
   if t.enabled then begin
     Mutex.lock t.mutex;
-    let now = Instr.now_s () in
-    Printf.eprintf
-      "[%s] %d/%d done in %.1fs  (%.1f cfg/s, cache-hit %d%%%s)\n%!" t.label
-      (completed t) t.total (now -. t.start) (rate t now) (hit_pct t)
-      (fault_suffix t);
-    Mutex.unlock t.mutex
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        let now = Instr.now_s () in
+        Printf.eprintf
+          "[%s] %d/%d done in %.1fs  (%.1f cfg/s, cache-hit %d%%%s)\n%!"
+          t.label (completed t) t.total (now -. t.start) (rate t now)
+          (hit_pct t) (fault_suffix t))
   end

@@ -1,0 +1,8 @@
+(* A002 fixture: suppressions no finding needs. The first is the
+   unsuppressed positive; the second also names A002 itself, which is
+   the sanctioned way to keep a deliberately stale allow. Parsed by
+   rats_lint's tests, never compiled. *)
+
+let positive = 1 (* lint: allow D001 — fixture: deliberately stale, nothing here traverses a table *)
+
+let suppressed = 2 (* lint: allow D001, A002 — fixture: stale on purpose and allowed to stay that way *)

@@ -1,0 +1,21 @@
+(* R001 fixture: shared mutable state captured by parallel closures. The
+   negative shows the sanctioned Atomic route. Parsed by rats_lint's
+   tests, never compiled. *)
+
+let positive () =
+  let table = Hashtbl.create 8 in
+  let d = Domain.spawn (fun () -> Hashtbl.replace table 1 "x") in
+  Domain.join d;
+  Hashtbl.length table
+
+let suppressed () =
+  let buf = Buffer.create 64 in
+  let d = Domain.spawn (fun () -> Buffer.add_char buf 'x') in (* lint: allow R001 — fixture: single writer, buffer read only after join *)
+  Domain.join d;
+  Buffer.length buf
+
+let negative () =
+  let hits = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Atomic.incr hits) in
+  Domain.join d;
+  Atomic.get hits

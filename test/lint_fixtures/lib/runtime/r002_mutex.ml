@@ -1,0 +1,15 @@
+(* R002 fixture: Mutex.lock without a guaranteed unlock. The negative
+   shows the Fun.protect discipline. Parsed by rats_lint's tests, never
+   compiled. *)
+
+let positive m x =
+  Mutex.lock m;
+  let r = x + 1 in
+  Mutex.unlock m;
+  r
+
+let suppressed m = Mutex.lock m; Mutex.unlock m (* lint: allow R002 — fixture: nothing between lock and unlock can raise *)
+
+let negative m x =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> x + 1)

@@ -1,0 +1,8 @@
+(* D005 fixture, frontier: in-scope (lib/sim) code whose nondeterminism
+   is two modules away — a per-file scan of this file is clean; the
+   whole-program taint pass reports the full path. Parsed by rats_lint's
+   tests, never compiled. *)
+
+let observe u = Sampling.sample u
+
+let observe_quiet u = Sampling.sample (u +. 1.0) (* lint: allow D005 — fixture: sampled diagnostics only, never lands in results *)

@@ -1,0 +1,6 @@
+(* D005 fixture chain, leaf: draws raw entropy. Out of D005 scope
+   (lib/util) and invisible to D002's name list, so every per-file scan
+   of this chain stays clean. Parsed by rats_lint's tests, never
+   compiled. *)
+
+let draw () = Random.float 1.0

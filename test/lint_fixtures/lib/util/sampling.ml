@@ -1,0 +1,5 @@
+(* D005 fixture chain, middle hop: launders the entropy through one more
+   module so only the whole-program pass can see it. Parsed by
+   rats_lint's tests, never compiled. *)
+
+let sample u = Entropy_pool.draw () *. u

@@ -7,9 +7,16 @@ module Engine = Rats_lint.Engine
 module Rules = Rats_lint.Rules
 module Finding = Rats_lint.Finding
 module Allow = Rats_lint.Allow
+module Baseline = Rats_lint.Baseline
+module Callgraph = Rats_lint.Callgraph
 module Json = Rats_obs.Json
 
 let check = Alcotest.check
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
 
 (* dune runtest runs in _build/default/test where the (source_tree) dep
    lands; dune exec from the repo root sees it under test/. *)
@@ -50,7 +57,8 @@ let test_every_rule_fires () =
   check
     Alcotest.(list string)
     "one unsuppressed positive per rule"
-    [ "A001"; "D001"; "D002"; "D003"; "D004"; "E001"; "H001"; "H002" ]
+    [ "A001"; "A002"; "D001"; "D002"; "D003"; "D004"; "D005"; "E001"; "H001";
+      "H002"; "R001"; "R002" ]
     (rule_ids r.findings)
 
 let test_every_rule_suppressible () =
@@ -58,7 +66,8 @@ let test_every_rule_suppressible () =
   check
     Alcotest.(list string)
     "one suppressed case per catalogue rule"
-    [ "D001"; "D002"; "D003"; "D004"; "H001"; "H002" ]
+    [ "A002"; "D001"; "D002"; "D003"; "D004"; "D005"; "H001"; "H002"; "R001";
+      "R002" ]
     (rule_ids r.suppressed)
 
 let test_unjustified_allow_is_listed () =
@@ -110,6 +119,97 @@ let test_catalogue_sorted_and_scoped () =
   check Alcotest.bool "D002 covers lib/runtime" true
     (Rats_lint.Rule.applies d002 ~path:"lib/runtime/progress.ml")
 
+(* D005's whole point: the per-file scan of the frontier file is clean;
+   only the whole-program pass sees the two-modules-away entropy draw,
+   and its finding carries the full call path. *)
+let test_d005_needs_whole_program () =
+  let per_file = Engine.lint_file ~root:fixture_root "lib/sim/d005_sampler.ml" in
+  check
+    Alcotest.(list string)
+    "per-file scan of the D005 fixture is clean" []
+    (List.map Finding.to_human (per_file.findings @ per_file.suppressed));
+  let r = Lazy.force fixture_report in
+  match List.filter (fun f -> f.Finding.rule_id = "D005") r.findings with
+  | [ f ] ->
+      check Alcotest.string "frontier file" "lib/sim/d005_sampler.ml" f.file;
+      check Alcotest.bool "path walks both intermediate hops" true
+        (contains ~sub:"Sampling.sample → Entropy_pool.draw → Random.float"
+           f.message);
+      check Alcotest.bool "hop count rendered" true
+        (contains ~sub:"(3 hops)" f.message)
+  | fs -> Alcotest.failf "expected exactly one D005 finding, got %d" (List.length fs)
+
+let test_a002_stale_allow () =
+  let r = Lazy.force fixture_report in
+  check Alcotest.bool "stale allow reported" true
+    (List.exists
+       (fun f ->
+         f.Finding.rule_id = "A002"
+         && f.Finding.file = "lib/exp/a002_stale.ml"
+         && f.Finding.line = 6)
+       r.findings);
+  (* An allow naming A002 itself may keep a deliberately stale entry. *)
+  check Alcotest.bool "self-allowed staleness lands in suppressed" true
+    (List.exists
+       (fun f ->
+         f.Finding.rule_id = "A002"
+         && f.Finding.file = "lib/exp/a002_stale.ml"
+         && f.Finding.line = 8)
+       r.suppressed)
+
+let test_baseline_roundtrip () =
+  let r = Lazy.force fixture_report in
+  let path = Filename.temp_file "rats_lint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Baseline.save path r.findings;
+      let keys = Baseline.load path in
+      check Alcotest.int "one key per finding" (List.length r.findings)
+        (List.length keys);
+      let d = Baseline.diff ~baseline:keys r.findings in
+      check Alcotest.int "round-trip: nothing fresh" 0 (List.length d.fresh);
+      check Alcotest.(list string) "round-trip: nothing stale" [] d.stale;
+      (* Dropping a stored entry makes that finding fresh again... *)
+      let d = Baseline.diff ~baseline:(List.tl keys) r.findings in
+      check Alcotest.int "removed entry turns fresh" 1 (List.length d.fresh);
+      (* ...and an entry nothing fires for is reported stale. *)
+      let bogus = "x.ml|D001|long gone" in
+      let d = Baseline.diff ~baseline:(bogus :: keys) r.findings in
+      check Alcotest.(list string) "dead entry reported stale" [ bogus ] d.stale)
+
+let test_cache_invalidation () =
+  let dir = Filename.temp_dir "rats_lint_cache" "" in
+  let file = Filename.concat dir "probe.ml" in
+  let write src =
+    let oc = open_out file in
+    output_string oc src;
+    close_out oc
+  in
+  let cache = Filename.concat dir "summaries.bin" in
+  let stats () =
+    match (Engine.lint_tree ~dirs:[] ~cache ~root:dir ()).Engine.cache_stats with
+    | Some s -> s
+    | None -> Alcotest.fail "tree run must report cache stats"
+  in
+  write "let x = 1\n";
+  check Alcotest.(pair int int) "cold run summarizes" (0, 1) (stats ());
+  check Alcotest.(pair int int) "warm run hits" (1, 0) (stats ());
+  write "let x = 2\n";
+  check Alcotest.(pair int int) "edit invalidates the entry" (0, 1) (stats ())
+
+let test_graph_dot () =
+  let r = Lazy.force fixture_report in
+  match r.Engine.graph with
+  | None -> Alcotest.fail "tree run must carry the call graph"
+  | Some g ->
+      let dot = Callgraph.to_dot g in
+      check Alcotest.bool "DOT header" true
+        (contains ~sub:"digraph rats_callgraph" dot);
+      check Alcotest.bool "cross-module taint edge present" true
+        (contains ~sub:"\"Rats_sim.D005_sampler\" -> \"Rats_util.Sampling\""
+           dot)
+
 let test_repo_tree_clean () =
   match repo_root () with
   | None -> Alcotest.fail "cannot locate repo root (no dune-project upward)"
@@ -135,6 +235,18 @@ let test_repo_allows_justified () =
              if a.reason = None then Some (Allow.to_human a) else None)
            r.allows)
 
+(* The committed CI baseline must stay empty: the ratchet exists for
+   landing new rules on a dirty tree, and the tree is clean. *)
+let test_repo_baseline_empty () =
+  match repo_root () with
+  | None -> Alcotest.fail "cannot locate repo root (no dune-project upward)"
+  | Some root ->
+      let path = Filename.concat root "tools/lint_baseline.txt" in
+      check Alcotest.bool "baseline file committed" true (Sys.file_exists path);
+      check
+        Alcotest.(list string)
+        "zero baselined findings" [] (Baseline.load path)
+
 let () =
   Alcotest.run "rats_lint"
     [
@@ -153,10 +265,22 @@ let () =
           Alcotest.test_case "sorted and scoped" `Quick
             test_catalogue_sorted_and_scoped;
         ] );
+      ( "whole-program",
+        [
+          Alcotest.test_case "d005 needs the whole program" `Quick
+            test_d005_needs_whole_program;
+          Alcotest.test_case "a002 stale allow" `Quick test_a002_stale_allow;
+          Alcotest.test_case "baseline round-trip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "summary cache invalidation" `Quick
+            test_cache_invalidation;
+          Alcotest.test_case "call-graph dot" `Quick test_graph_dot;
+        ] );
       ( "repo",
         [
           Alcotest.test_case "tree lints clean" `Quick test_repo_tree_clean;
           Alcotest.test_case "allows justified" `Quick
             test_repo_allows_justified;
+          Alcotest.test_case "baseline empty" `Quick test_repo_baseline_empty;
         ] );
     ]

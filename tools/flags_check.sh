@@ -32,14 +32,17 @@ studio_help=$(dune exec --no-build bin/studio.exe -- --help=plain 2>&1
               done)
 
 # Flag table rows: lines between the markers that start with '| `'.
-rows=$(sed -n '/flags-check:begin/,/flags-check:end/p' "$readme" | grep '^| `' || true)
+rows=$(sed -n '/<!-- flags-check:begin -->/,/<!-- flags-check:end -->/p' "$readme" | grep '^| `' || true)
 if [ -z "$rows" ]; then
     echo "flags-check: no flag table found between flags-check markers in $readme" >&2
     exit 1
 fi
 
 has_flag() { # $1 = help text, $2 = long flag (e.g. --jobs)
-    printf '%s\n' "$1" | grep -qE -- "(^|[^-A-Za-z0-9])$2([^-A-Za-z0-9]|$)"
+    # Here-string, not a pipeline: under pipefail, `printf | grep -q` races —
+    # grep exits on the first match, printf takes a SIGPIPE, and the pipeline
+    # (and so this function) reports a flag as missing when it is present.
+    grep -qE -- "(^|[^-A-Za-z0-9])$2([^-A-Za-z0-9]|$)" <<< "$1"
 }
 
 check_cell() { # $1 = flag, $2 = mark, $3 = binary name, $4 = help text
@@ -94,8 +97,38 @@ check_documented "bin/rats_client.exe" "$client_help"
 check_documented "bin/workload.exe" "$workload_help"
 check_documented "bin/studio.exe" "$studio_help"
 
-if [ "$fail" -ne 0 ]; then
-    echo "flags-check: FAILED — update the table in $readme (flags-check markers) or the binary" >&2
+# The lint driver has its own table (lint-flags-check markers), checked in
+# the same two directions: every documented flag must exist, every flag in
+# --help must be documented.
+lint_help=$(dune exec --no-build bin/lint.exe -- --help 2>&1)
+lint_rows=$(sed -n '/<!-- lint-flags-check:begin -->/,/<!-- lint-flags-check:end -->/p' "$readme" | grep '^| `' || true)
+if [ -z "$lint_rows" ]; then
+    echo "flags-check: no lint flag table found between lint-flags-check markers in $readme" >&2
     exit 1
 fi
-echo "flags-check: README flag table matches all seven binaries' --help"
+lint_table_flags=""
+while IFS='|' read -r _ cell _rest; do
+    flag=$(printf '%s' "$cell" | grep -oE -- '--[a-z][a-z-]*' | head -n1)
+    [ -z "$flag" ] && continue
+    lint_table_flags="$lint_table_flags $flag"
+    if ! has_flag "$lint_help" "$flag"; then
+        echo "flags-check: README documents $flag for bin/lint.exe, but its --help does not mention it" >&2
+        fail=1
+    fi
+done <<EOF
+$lint_rows
+EOF
+for flag in $(printf '%s\n' "$lint_help" | grep -oE -- '--[a-z][a-z-]*' | sort -u); do
+    case " $lint_table_flags " in
+        *" $flag "*) ;;
+        *)
+            echo "flags-check: bin/lint.exe --help lists $flag, but the README lint flag table has no row for it" >&2
+            fail=1 ;;
+    esac
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "flags-check: FAILED — update the tables in $readme (flags-check / lint-flags-check markers) or the binary" >&2
+    exit 1
+fi
+echo "flags-check: README flag tables match all eight binaries' --help"
